@@ -1,0 +1,64 @@
+"""Benchmark: ablation of A1's stage skipping (vs Fritzke et al. [5]).
+
+The paper's §6 claim, quantified: removing A1's optimisations must not
+change the latency degree or the inter-group message count, but must
+increase the intra-group message count (extra consensus instances), and
+swapping in [5]'s uniform reliable multicast must additionally raise
+the inter-group count.
+"""
+
+import pytest
+
+from repro.experiments.ablation import ablation_table, run_variant
+
+
+@pytest.fixture(scope="module")
+def variants():
+    """All three variants on the shared Zipf-local workload."""
+    return {
+        protocol: run_variant(protocol, seed=1)
+        for protocol in ("a1", "a1-noskip", "fritzke")
+    }
+
+
+class TestPaperClaim:
+    def test_latency_degree_unchanged(self, variants):
+        """'This has no impact on the latency degree.'"""
+        degrees = {v.multi_group_degree for v in variants.values()}
+        assert degrees == {2}
+
+    def test_inter_group_count_unchanged_by_skipping(self, variants):
+        """'... or on the number of inter-group messages sent.'"""
+        assert variants["a1"].inter_msgs == variants["a1-noskip"].inter_msgs
+
+    def test_skipping_saves_intra_group_messages(self, variants):
+        """'However, our algorithm sends fewer intra-group messages.'"""
+        assert variants["a1"].intra_msgs < variants["a1-noskip"].intra_msgs
+
+    def test_uniform_rmcast_costs_inter_group_messages(self, variants):
+        """[5]'s uniform primitive relays across groups."""
+        assert (variants["fritzke"].inter_msgs
+                > variants["a1-noskip"].inter_msgs)
+
+    def test_full_stack_ordering(self, variants):
+        """Total cost strictly decreases with each optimisation."""
+        total = {name: v.inter_msgs + v.intra_msgs
+                 for name, v in variants.items()}
+        assert total["a1"] < total["a1-noskip"] < total["fritzke"]
+
+
+class TestSavingsScaleWithLocality:
+    def test_single_group_heavy_workload_benefits_most(self):
+        """Stage skipping mostly pays off on single-group messages."""
+        a1 = run_variant("a1", seed=3)
+        noskip = run_variant("a1-noskip", seed=3)
+        saving = (noskip.intra_msgs - a1.intra_msgs) / noskip.intra_msgs
+        assert saving > 0.15
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the printed ablation table."""
+    table = benchmark.pedantic(ablation_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "stage skipping" in table

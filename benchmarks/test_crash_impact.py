@@ -1,0 +1,125 @@
+"""Benchmark: what crashes cost — wall time, not causal structure.
+
+The paper's algorithms are designed so failures hurt *liveness timing*
+(failure-detection lag, consensus re-election) but never the logical
+structure: the latency degree of delivered messages and all four
+correctness properties are crash-independent.  This benchmark measures
+both halves on Algorithm A1 over a 100 ms WAN, and surfaces a pleasant
+consequence of the WAN setting:
+
+* degrees are identical with and without a consensus-leader crash;
+* with a reasonably fast detector, the leader re-election hides
+  *entirely* behind the WAN round trip — the message racing the crash
+  is delivered no later than in the clean run, because the remote
+  group's timestamp exchange, not the local re-election, is the
+  critical path;
+* only when detection + retry exceed the WAN RTT does the crash become
+  visible, and then the extra latency scales with the detection delay.
+"""
+
+import pytest
+
+from repro.checkers.properties import check_all
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import LatencyModel
+from repro.runtime.builder import build_system
+from repro.runtime.runner import Repeated
+
+
+def _run(seed: int, crash: bool, detector_delay: float = 30.0):
+    # Crash the group-0 consensus leader *before* it R-Delivers the
+    # racing message, so the group must re-elect to serve it.  The
+    # probes are spaced > 2 RTT apart so contention between their own
+    # protocol messages cannot masquerade as a crash effect.
+    crashes = CrashSchedule({0: 300.5} if crash else {})
+    system = build_system(
+        protocol="a1", group_sizes=[3, 3], seed=seed,
+        latency=LatencyModel.wan(intra_ms=1.0, inter_ms=100.0),
+        crashes=crashes, detector_delay=detector_delay,
+        retry_timeout=40.0,
+    )
+    before = system.cast_at(10.0, 1, (0, 1))    # settles pre-crash
+    racing = system.cast_at(300.0, 1, (0, 1))   # in flight at the crash
+    after = system.cast_at(700.0, 1, (0, 1))    # post re-election
+    system.run_quiescent()
+    check_all(system.log, system.topology, crashes)
+
+    def worst(msg):
+        return system.meter.record_for(msg.mid).worst_delivery_latency
+
+    return {
+        "deg_before": system.meter.latency_degree(before.mid),
+        "deg_racing": system.meter.latency_degree(racing.mid),
+        "deg_after": system.meter.latency_degree(after.mid),
+        "lat_before": worst(before),
+        "lat_racing": worst(racing),
+        "lat_after": worst(after),
+    }
+
+
+@pytest.fixture(scope="module")
+def runs():
+    seeds = range(4)
+    return {
+        "clean": Repeated(lambda s: _run(s, crash=False), seeds).run(),
+        "crash": Repeated(lambda s: _run(s, crash=True), seeds).run(),
+    }
+
+
+class TestCausalStructureUnaffected:
+    def test_degrees_identical_with_and_without_crash(self, runs):
+        for metric in ("deg_before", "deg_racing", "deg_after"):
+            clean = runs["clean"].aggregate(metric)
+            crash = runs["crash"].aggregate(metric)
+            assert clean.values == crash.values == [2.0] * 4, metric
+
+
+class TestWallClockCost:
+    def test_undisturbed_messages_unchanged(self, runs):
+        for metric in ("lat_before", "lat_after"):
+            clean = runs["clean"].aggregate(metric).mean
+            crash = runs["crash"].aggregate(metric).mean
+            assert abs(clean - crash) < 30.0, metric
+
+    def test_fast_detection_hides_behind_wan_rtt(self, runs):
+        """Re-election (~70 ms) < WAN RTT (~200 ms): the remote group's
+        timestamp exchange is the critical path either way."""
+        clean = runs["clean"].aggregate("lat_racing").mean
+        crash = runs["crash"].aggregate("lat_racing").mean
+        assert abs(crash - clean) < 15.0
+
+    def test_slow_detection_exceeds_rtt_and_shows(self):
+        """Once detection + retries outlast the RTT, the crash costs."""
+        clean = Repeated(lambda s: _run(s, crash=False),
+                         seeds=range(3)).run()
+        slow = Repeated(
+            lambda s: _run(s, crash=True, detector_delay=220.0),
+            seeds=range(3),
+        ).run()
+        assert (slow.aggregate("lat_racing").mean
+                > clean.aggregate("lat_racing").mean + 80.0)
+
+    def test_cost_scales_with_detector_delay(self):
+        slower = Repeated(
+            lambda s: _run(s, crash=True, detector_delay=350.0),
+            seeds=range(3),
+        ).run()
+        slow = Repeated(
+            lambda s: _run(s, crash=True, detector_delay=220.0),
+            seeds=range(3),
+        ).run()
+        assert (slower.aggregate("lat_racing").mean
+                > slow.aggregate("lat_racing").mean + 60.0)
+
+
+def test_regenerate_numbers(benchmark, runs):
+    """Wall-clock one crash run and print the comparison."""
+    result = benchmark.pedantic(lambda: _run(0, crash=True),
+                                rounds=1, iterations=1)
+    clean = _run(0, crash=False)
+    print()
+    print("Crash impact (A1, 100 ms WAN, leader crash at t=300.5 ms):")
+    for key in sorted(result):
+        print(f"  {key:12s} clean={clean[key]:7.1f}  "
+              f"crash={result[key]:7.1f}")
+    assert result["deg_racing"] == 2

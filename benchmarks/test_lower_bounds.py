@@ -1,0 +1,72 @@
+"""Benchmark: empirical stress test of the Section 3 lower bounds.
+
+A counterexample hunt across seeds, topologies, casters and timings:
+
+* every genuine multicast implementation must measure Δ >= 2 on every
+  multi-group message (Propositions 3.1 + 3.2);
+* the non-genuine control must reach Δ = 1 (the bound is about
+  genuineness, not about our harness);
+* every post-quiescence broadcast must measure Δ >= 2
+  (Proposition 3.3 + Theorem 5.2).
+"""
+
+import pytest
+
+from repro.experiments.lower_bounds import (
+    GENUINE_MULTICASTS,
+    lower_bound_table,
+    search_genuine_counterexamples,
+    search_nongenuine_witness,
+    search_quiescence_cost,
+)
+
+
+@pytest.mark.parametrize("protocol", GENUINE_MULTICASTS)
+def test_no_genuine_counterexample(protocol):
+    """The heart of Prop 3.1: no genuine run beats degree 2."""
+    search = search_genuine_counterexamples(
+        protocol, seeds=range(5),
+        topologies=((2, 2), (3, 3)),
+        cast_offsets=(0.0, 0.7),
+    )
+    assert search.runs > 0
+    assert search.min_degree >= 2, (
+        f"{protocol} violated the genuine multicast lower bound: "
+        f"degree histogram {search.degrees}"
+    )
+
+
+def test_bound_is_tight_for_a1():
+    """A1 *achieves* 2 — the bound is tight (Theorem 4.1)."""
+    search = search_genuine_counterexamples(
+        "a1", seeds=range(5), topologies=((2, 2), (3, 3)),
+        cast_offsets=(0.0,),
+    )
+    assert search.min_degree == 2
+
+
+def test_nongenuine_control_reaches_one():
+    """Dropping genuineness makes degree 1 reachable."""
+    witness = search_nongenuine_witness(seeds=range(5))
+    assert witness.min_degree == 1
+
+
+def test_quiescence_cost_never_below_two():
+    """Prop 3.3: a quiescent algorithm pays 2 for late messages."""
+    search = search_quiescence_cost(seeds=range(5),
+                                    gaps=(50.0, 100.0, 500.0))
+    assert search.min_degree >= 2
+
+
+def test_quiescence_cost_is_exactly_two_somewhere():
+    """Theorem 5.2's run achieves the bound."""
+    search = search_quiescence_cost(seeds=range(5), gaps=(200.0,))
+    assert search.min_degree == 2
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the full hunt (the printed artefact)."""
+    table = benchmark.pedantic(lower_bound_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "VIOLATED" not in table

@@ -1,0 +1,79 @@
+"""Benchmark: quiescence-prediction strategies (paper §5.3 extension).
+
+The paper's closing suggestion, quantified on a bursty workload.
+Assertions pin the tradeoff's shape:
+
+* a linger long enough to bridge the burst gap slashes wakeups
+  (prediction mistakes / Theorem 5.2 situations);
+* that costs strictly more empty rounds;
+* the rate-adaptive strategy lands between the paper's rule and the
+  long linger on both axes.
+"""
+
+import pytest
+
+from repro.experiments.prediction import (
+    STRATEGIES,
+    prediction_table,
+    run_all,
+    run_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    """All strategies on the shared bursty workload."""
+    return {p.strategy: p for p in run_all(seed=1)}
+
+
+class TestWakeupAxis:
+    def test_long_linger_bridges_the_gap(self, points):
+        paper = points["paper (stop on empty)"]
+        linger = points["linger 20 rounds"]
+        assert linger.wakeups < paper.wakeups / 2
+
+    def test_short_linger_does_not(self, points):
+        """A hedge shorter than the gap buys nothing but idle rounds."""
+        paper = points["paper (stop on empty)"]
+        short = points["linger 5 rounds"]
+        assert short.wakeups == paper.wakeups
+
+    def test_adaptive_beats_paper_rule(self, points):
+        paper = points["paper (stop on empty)"]
+        adaptive = points["rate-adaptive"]
+        assert adaptive.wakeups < paper.wakeups
+
+
+class TestIdleRoundAxis:
+    def test_lingering_costs_empty_rounds(self, points):
+        paper = points["paper (stop on empty)"]
+        linger = points["linger 20 rounds"]
+        assert linger.empty_rounds > paper.empty_rounds
+
+    def test_empty_rounds_monotone_in_linger(self, points):
+        assert (points["paper (stop on empty)"].empty_rounds
+                < points["linger 5 rounds"].empty_rounds
+                <= points["linger 20 rounds"].empty_rounds)
+
+
+class TestDeliveryGuarantees:
+    def test_every_strategy_delivers_everything(self, points):
+        counts = {p.messages for p in points.values()}
+        assert len(counts) == 1  # same workload, all delivered
+
+    def test_runs_stay_quiescent(self):
+        """Bounded strategies must not break Proposition A.9 — their
+        runs end (run_strategy would trip its event budget otherwise)."""
+        for name, factory in STRATEGIES:
+            point = run_strategy(name, factory
+                                 if name != "paper (stop on empty)"
+                                 else None, seed=2, bursts=3)
+            assert point.messages > 0
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the printed strategy comparison."""
+    table = benchmark.pedantic(prediction_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "wakeups" in table

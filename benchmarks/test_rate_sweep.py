@@ -1,0 +1,95 @@
+"""Benchmark: Section 5.3's broadcast-rate sweep over 100 ms WAN links.
+
+The paper's claim: with 100 ms inter-group latency, ~10 msg/s keeps
+Algorithm A2 permanently non-reactive with every round useful.  The
+sweep must show:
+
+* useful-round fraction increasing with rate and ~1 at high rates;
+* mean delivery latency roughly flat (rounds amortise over messages);
+* low rates wasting rounds (the quiescence machinery cycling).
+"""
+
+import pytest
+
+from repro.experiments.rate_sweep import rate_table, run_rate_point, sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    """A shortened sweep shared by the shape assertions."""
+    return {
+        rate: run_rate_point(rate, seed=1, duration_ms=10_000.0)
+        for rate in (1.0, 10.0, 50.0)
+    }
+
+
+class TestUsefulRounds:
+    def test_high_rate_rounds_nearly_all_useful(self, points):
+        assert points[50.0].useful_round_fraction > 0.9
+
+    def test_usefulness_increases_with_rate(self, points):
+        assert (points[1.0].useful_round_fraction
+                < points[10.0].useful_round_fraction
+                < points[50.0].useful_round_fraction)
+
+    def test_low_rate_wastes_rounds(self, points):
+        assert points[1.0].useful_round_fraction < 0.8
+
+
+class TestLatency:
+    def test_latency_flat_across_rates(self, points):
+        """Throughput scales without hurting latency (proactive rounds)."""
+        low, high = points[1.0].mean_latency_ms, points[50.0].mean_latency_ms
+        assert high < low * 1.5
+
+    def test_latency_order_of_a_round_trip(self, points):
+        """~1-2 round trips of the 100 ms links, not more."""
+        assert points[50.0].mean_latency_ms < 400.0
+
+    def test_all_messages_delivered(self, points):
+        for point in points.values():
+            assert point.messages > 0
+
+
+class TestDegreeOne:
+    def test_warm_path_exists_at_high_rate(self, points):
+        """Some messages catch the open bundling window (degree 1)."""
+        assert points[50.0].degree1_fraction > 0.0
+
+    def test_wider_bundling_window_raises_degree1_fraction(self):
+        """The degree-1 fraction tracks propose_delay/round-duration."""
+        narrow = run_rate_point(20.0, seed=1, duration_ms=8_000.0)
+        # Re-run with a 25 ms window instead of the default 5 ms.
+        from repro.net.topology import LatencyModel
+        from repro.runtime.builder import build_system
+        from repro.workload.generators import (
+            poisson_workload, schedule_workload,
+        )
+
+        system = build_system(
+            protocol="a2", group_sizes=[3, 3], seed=1,
+            latency=LatencyModel.wan(intra_ms=1.0, inter_ms=100.0,
+                                     inter_jitter_ms=2.0),
+            propose_delay=25.0,
+        )
+        plans = poisson_workload(system.topology, system.rng.stream("wl"),
+                                 rate=0.02, duration=8_000.0)
+        msgs = schedule_workload(system, plans)
+        system.run_quiescent()
+        degrees = [system.meter.latency_degree(m.mid) for m in msgs]
+        degrees = [d for d in degrees if d is not None]
+        wide_fraction = sum(1 for d in degrees if d <= 1) / len(degrees)
+        assert wide_fraction > narrow.degree1_fraction
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock a compact version of the printed sweep."""
+    table = benchmark.pedantic(
+        rate_table,
+        args=([run_rate_point(r, seed=1, duration_ms=6_000.0)
+               for r in (1.0, 5.0, 10.0, 50.0)],),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table)
+    assert "msg/s" in table

@@ -1,0 +1,85 @@
+"""Benchmark: scalability sweep — Figure 1's asymptotics, measured.
+
+Assertions pin the growth rates:
+
+* A1's per-message inter-group cost is flat in the total group count
+  when k is fixed (genuineness keeps bystander groups out);
+* A2's per-message cost grows superlinearly with the group count
+  (every group participates in every round);
+* A1's cost grows ~quadratically in the group size d (O(k²d²));
+* the ring's cost grows ~linearly in d² but stays below A1's for
+  larger k (O(kd²) vs O(k²d²)).
+"""
+
+import pytest
+
+from repro.experiments.scalability import (
+    run_scale_point,
+    scalability_table,
+    sweep_group_size,
+    sweep_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def group_sweeps():
+    return {protocol: sweep_groups(protocol, group_counts=(2, 4, 6), d=2)
+            for protocol in ("a1", "a2")}
+
+
+class TestGroupCountScaling:
+    def test_a1_flat_in_total_groups(self, group_sweeps):
+        points = group_sweeps["a1"]
+        assert points[6].inter_per_msg <= points[2].inter_per_msg * 1.3
+
+    def test_a2_grows_with_groups(self, group_sweeps):
+        points = group_sweeps["a2"]
+        assert points[6].inter_per_msg > points[2].inter_per_msg * 5
+
+    def test_crossover_genuine_wins_at_scale(self, group_sweeps):
+        """At 6 groups, genuine multicast is much cheaper per op."""
+        a1 = group_sweeps["a1"][6].inter_per_msg
+        a2 = group_sweeps["a2"][6].inter_per_msg
+        assert a2 > 5 * a1
+
+    def test_small_system_broadcast_competitive(self, group_sweeps):
+        """At 2 groups the two coincide (k = G): broadcast is fine."""
+        a1 = group_sweeps["a1"][2].inter_per_msg
+        a2 = group_sweeps["a2"][2].inter_per_msg
+        assert a2 < a1 * 1.5
+
+
+class TestGroupSizeScaling:
+    def test_a1_quadratic_in_d(self):
+        points = sweep_group_size("a1", sizes=(2, 4), groups=2)
+        ratio = points[4].inter_per_msg / points[2].inter_per_msg
+        assert ratio > 2.5  # d doubled: O(d²) predicts ~4x
+
+    def test_sequencer_quadratic_in_n(self):
+        points = sweep_group_size("sequencer", sizes=(2, 4), groups=2)
+        ratio = points[4].inter_per_msg / points[2].inter_per_msg
+        assert ratio > 2.5
+
+    def test_optimistic_linear_in_n(self):
+        points = sweep_group_size("optimistic", sizes=(2, 4), groups=2)
+        ratio = points[4].inter_per_msg / points[2].inter_per_msg
+        assert ratio < 2.5
+
+
+class TestLatencyStability:
+    def test_a1_latency_flat_in_system_size(self, group_sweeps):
+        """Hops, not system size, set the latency."""
+        points = group_sweeps["a1"]
+        assert points[6].mean_worst_latency < points[2].mean_worst_latency * 1.5
+
+    def test_a2_latency_flat_in_system_size(self, group_sweeps):
+        points = group_sweeps["a2"]
+        assert points[6].mean_worst_latency < points[2].mean_worst_latency * 1.5
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the printed scalability sweep."""
+    table = benchmark.pedantic(scalability_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "inter/msg" in table

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the substrate: kernel, consensus, protocols.
+
+These are classic pytest-benchmark wall-clock measurements (the other
+benchmark files are paper-artefact regenerations).  They track the
+simulator's own performance so protocol experiments stay fast enough to
+sweep.
+"""
+
+import pytest
+
+from repro.net.topology import LatencyModel
+from repro.runtime.builder import build_system
+from repro.sim.kernel import Simulator
+from repro.workload.generators import periodic_workload, schedule_workload
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw event scheduling + dispatch rate."""
+
+    def run():
+        sim = Simulator()
+        count = 100_000
+        for i in range(count):
+            sim.schedule(float(i % 97) / 10.0, lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+def test_consensus_instance_rate(benchmark):
+    """Sequential consensus instances inside one 3-process group."""
+
+    def run():
+        system = build_system(protocol="a1", group_sizes=[3], seed=1)
+        plans = periodic_workload(system.topology, period=0.5, count=100,
+                                  senders=[0])
+        schedule_workload(system, plans)
+        system.run_quiescent()
+        return system.log.delivery_count()
+
+    deliveries = benchmark(run)
+    assert deliveries == 300  # 100 messages x 3 processes
+
+
+def test_a1_multigroup_throughput(benchmark):
+    """A1 end-to-end: 60 two-group multicasts over 3 groups."""
+
+    def run():
+        system = build_system(protocol="a1", group_sizes=[3, 3, 3], seed=1)
+        plans = periodic_workload(system.topology, period=0.4, count=60)
+        schedule_workload(system, plans)
+        system.run_quiescent()
+        return system.log.delivery_count()
+
+    deliveries = benchmark(run)
+    assert deliveries == 60 * 9
+
+
+def test_a2_round_throughput(benchmark):
+    """A2 end-to-end: 60 broadcasts over 2 groups under WAN latency."""
+
+    def run():
+        system = build_system(
+            protocol="a2", group_sizes=[3, 3], seed=1,
+            latency=LatencyModel.wan(), propose_delay=5.0,
+        )
+        plans = periodic_workload(system.topology, period=20.0, count=60)
+        schedule_workload(system, plans)
+        system.run_quiescent()
+        return system.log.delivery_count()
+
+    deliveries = benchmark(run)
+    assert deliveries == 60 * 6

@@ -1,0 +1,65 @@
+"""Benchmark: the introduction's genuineness/latency tradeoff.
+
+Genuine multicast (A1) versus broadcast-to-all (over A2) on a partial
+replication workload — the choice the paper frames for multi-site
+systems.  Assertions:
+
+* broadcast-to-all reaches latency degree 1 (beats the genuine bound);
+* genuine A1 never goes below 2;
+* broadcast-to-all pays strictly more inter-group messages per op and
+  a non-zero pile of discarded deliveries at non-addressees;
+* the message gap widens with the total group count (locality pays).
+"""
+
+import pytest
+
+from repro.experiments.tradeoff import run_tradeoff, tradeoff_table
+
+
+@pytest.fixture(scope="module")
+def points():
+    """Both protocols on the shared 6-group, k=2 workload."""
+    return {
+        protocol: run_tradeoff(protocol, groups=6, d=2, k=2, seed=1)
+        for protocol in ("a1", "nongenuine")
+    }
+
+
+class TestLatencySide:
+    def test_broadcast_to_all_reaches_degree_one(self, points):
+        assert points["nongenuine"].best_degree == 1
+
+    def test_genuine_never_below_two(self, points):
+        assert points["a1"].best_degree == 2
+
+
+class TestMessageSide:
+    def test_broadcast_costs_more_inter_group_traffic(self, points):
+        assert (points["nongenuine"].inter_msgs_per_op
+                > 2 * points["a1"].inter_msgs_per_op)
+
+    def test_broadcast_discards_deliveries_at_bystanders(self, points):
+        assert points["nongenuine"].discarded_deliveries > 0
+
+    def test_genuine_discards_nothing(self, points):
+        assert points["a1"].discarded_deliveries == 0
+
+    def test_gap_widens_with_group_count(self):
+        """More groups => more bystanders => worse broadcast overhead."""
+
+        def gap(groups):
+            a1 = run_tradeoff("a1", groups=groups, d=2, k=2, seed=2,
+                              duration=12.0)
+            bc = run_tradeoff("nongenuine", groups=groups, d=2, k=2,
+                              seed=2, duration=12.0)
+            return bc.inter_msgs_per_op / a1.inter_msgs_per_op
+
+        assert gap(8) > gap(4)
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the printed tradeoff table."""
+    table = benchmark.pedantic(tradeoff_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "genuine" in table

@@ -1,0 +1,77 @@
+"""Benchmark: heterogeneous WAN — topology decides the best algorithm.
+
+The paper's §6 closing remark, quantified on a three-continent latency
+matrix.  Assertions:
+
+* A1's wall latency per destination set tracks ``2 × slowest leg``;
+* the ring's latency for all three continents tracks the *sum* of its
+  handoff legs, strictly worse than A1;
+* for two-continent messages (k = 2) the two are within a whisker —
+  the ring only loses once sequential handoffs pile up.
+"""
+
+import pytest
+
+from repro.experiments.wan_heterogeneity import (
+    collect_points,
+    heterogeneity_table,
+    measure,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return collect_points(seed=1)
+
+
+class TestA1Parallelism:
+    def test_latency_tracks_slowest_leg(self, points):
+        """Two hops over the slowest leg, run in parallel."""
+        expected = {(0, 1): 90.0, (0, 2): 180.0, (1, 2): 150.0,
+                    (0, 1, 2): 180.0}
+        for dest, leg2 in expected.items():
+            measured = points["a1"][dest].worst_latency_ms
+            assert abs(measured - leg2) < 15.0, (dest, measured)
+
+    def test_three_continents_cost_no_more_than_worst_pair(self, points):
+        assert (points["a1"][(0, 1, 2)].worst_latency_ms
+                <= points["a1"][(0, 2)].worst_latency_ms + 15.0)
+
+
+class TestRingSequentiality:
+    def test_two_group_rings_match_a1(self, points):
+        """k=2: one handoff + one final — same legs as A1."""
+        for dest in ((0, 1), (0, 2), (1, 2)):
+            ratio = (points["ring"][dest].worst_latency_ms
+                     / points["a1"][dest].worst_latency_ms)
+            assert ratio < 1.1
+
+    def test_three_group_ring_pays_the_sum_of_legs(self, points):
+        """EU->NA (45) + NA->ASIA (75) + final ASIA->EU (90) ~= 210."""
+        measured = points["ring"][(0, 1, 2)].worst_latency_ms
+        assert 195.0 < measured < 235.0
+
+    def test_ring_strictly_loses_at_three_groups(self, points):
+        assert (points["ring"][(0, 1, 2)].worst_latency_ms
+                > points["a1"][(0, 1, 2)].worst_latency_ms * 1.1)
+
+    def test_ring_degree_matches_destination_count(self, points):
+        assert points["ring"][(0, 1, 2)].degree == 3
+        assert points["a1"][(0, 1, 2)].degree == 2
+
+
+class TestSenderPlacement:
+    def test_caster_outside_first_group_adds_a_hop(self):
+        """A sender not in the ring's first group pays the entry leg."""
+        inside = measure("ring", (1, 2), seed=1, sender_gid=1)
+        outside = measure("ring", (1, 2), seed=1, sender_gid=0)
+        assert outside.degree == inside.degree + 1
+        assert outside.worst_latency_ms > inside.worst_latency_ms
+
+
+def test_regenerate_table(benchmark):
+    """Wall-clock the printed continent comparison."""
+    table = benchmark.pedantic(heterogeneity_table, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert "ring/A1" in table

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A globally replicated ledger over Algorithm A2 (three continents).
+
+Full replication: every site applies every transfer in the same total
+order, so balances agree everywhere and double spends are rejected
+deterministically.  The WAN is asymmetric — realistic one-way latencies
+between Europe, North America and Asia — and the broadcast rate is high
+enough that A2's proactive rounds stay warm (paper Section 5.3):
+transfers commit in roughly one inter-continental hop.
+
+Run:  python examples/global_ledger.py
+"""
+
+from repro.checkers.properties import check_all
+from repro.net.topology import Fixed, Jittered, LatencyModel
+from repro.replication import LedgerCluster
+
+
+def three_continent_latency() -> LatencyModel:
+    """One-way latencies (ms): EU<->NA ~45, EU<->ASIA ~90, NA<->ASIA ~75."""
+    pair = {
+        (0, 1): Jittered(45.0, 3.0), (1, 0): Jittered(45.0, 3.0),
+        (0, 2): Jittered(90.0, 5.0), (2, 0): Jittered(90.0, 5.0),
+        (1, 2): Jittered(75.0, 4.0), (2, 1): Jittered(75.0, 4.0),
+    }
+    return LatencyModel(intra=Jittered(0.8, 0.1), inter=Fixed(100.0),
+                        pairwise_inter=pair)
+
+
+def main() -> None:
+    cluster = LedgerCluster.build(
+        group_sizes=[3, 3, 3],
+        initial_balances={"treasury": 1_000, "alice": 50, "bob": 0},
+        protocol="a2",
+        latency=three_continent_latency(),
+        propose_delay=10.0,   # 10 ms bundling window per round
+        seed=11,
+    )
+    system = cluster.system
+    system.start_rounds()
+
+    # Submit transfers from all three continents, including two
+    # deliberate double spends racing from different sites.
+    submissions = []
+    eu, na, asia = cluster.ledger(0), cluster.ledger(3), cluster.ledger(6)
+    schedule = [
+        (5.0, eu, ("treasury", "alice", 100)),
+        (8.0, na, ("treasury", "bob", 200)),
+        (60.0, asia, ("alice", "bob", 120)),     # needs the 100 above
+        (61.0, na, ("alice", "bob", 120)),       # double spend race!
+        (150.0, eu, ("bob", "alice", 10)),
+        (200.0, asia, ("treasury", "alice", 5)),
+    ]
+    for when, ledger, (src, dst, amount) in schedule:
+        system.sim.call_at(
+            when,
+            lambda l=ledger, s=src, d=dst, a=amount:
+                submissions.append(l.transfer(s, d, a)),
+            label="submit",
+        )
+    system.run_quiescent()
+
+    print("Committed transfer order (identical on all 9 replicas):")
+    for tx in eu.committed:
+        print(f"  {tx}")
+    print(f"Rejected (deterministic double-spend losers): {eu.rejected}")
+
+    print("\nBalances per continent:")
+    for name, ledger in [("EU", eu), ("NA", na), ("ASIA", asia)]:
+        balances, _ = ledger.snapshot()
+        print(f"  {name:4s}: {dict(sorted(balances.items()))}")
+
+    cluster.assert_convergence()
+    check_all(system.log, system.topology)
+
+    latencies = [
+        system.meter.record_for(tx).worst_delivery_latency
+        for tx in submissions
+        if system.meter.record_for(tx)
+        and system.meter.record_for(tx).worst_delivery_latency is not None
+    ]
+    print("\nCommit latency (worst replica): "
+          f"min {min(latencies):.0f} ms, max {max(latencies):.0f} ms "
+          "(~1-2x the slowest one-way link, thanks to degree-1 rounds)")
+    print("Convergence and broadcast properties verified. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Partial replication with genuine atomic multicast (Algorithm A1).
+
+The scenario the paper's introduction motivates: an e-commerce backend
+spread over three sites, each replicating one partition —
+
+* group 0 (EU):  ``user:*`` records
+* group 1 (US):  ``order:*`` records
+* group 2 (ASIA): ``stock:*`` records
+
+Single-partition writes stay inside one site (latency degree 0-1);
+an order checkout touches ``order:*`` and ``stock:*`` and is atomically
+multicast to exactly those two sites (latency degree 2, the optimum for
+genuine multicast) — the EU site never sees it (genuineness).
+
+Run:  python examples/replicated_kv.py
+"""
+
+from repro.checkers.properties import check_all
+from repro.net.topology import LatencyModel
+from repro.replication import KVCluster
+
+
+def partition_of(key: str) -> int:
+    """Table-prefix partitioning."""
+    return {"user": 0, "order": 1, "stock": 2}[key.split(":", 1)[0]]
+
+
+def main() -> None:
+    keys = [f"user:{u}" for u in ("alice", "bob")]
+    keys += [f"order:{o}" for o in ("1001", "1002")]
+    keys += ["stock:widget", "stock:gadget"]
+
+    cluster = KVCluster.build(
+        group_sizes=[3, 3, 3],
+        partitions={k: partition_of(k) for k in keys},
+        protocol="a1",
+        latency=LatencyModel.wan(intra_ms=1.0, inter_ms=100.0),
+        seed=7,
+    )
+    system = cluster.system
+
+    # --- single-partition writes: local, cheap --------------------------
+    eu = cluster.store(0)       # a process at the EU site
+    us = cluster.store(3)       # a process at the US site
+    asia = cluster.store(6)     # a process at the ASIA site
+
+    eu.put("user:alice", {"email": "alice@example.com"})
+    eu.put("user:bob", {"email": "bob@example.com"})
+    asia.put("stock:widget", 5)
+    asia.put("stock:gadget", 2)
+
+    # --- cross-partition checkout: atomic multicast to 2 of 3 sites -----
+    checkout = us.put_many({
+        "order:1001": {"user": "alice", "item": "widget", "qty": 1},
+        "stock:widget": 4,
+    })
+    # A concurrent, conflicting checkout from another US replica: both
+    # touch stock:widget; atomic multicast orders them identically at
+    # every replica of both partitions.
+    rival = cluster.store(4).put_many({
+        "order:1002": {"user": "bob", "item": "widget", "qty": 4},
+        "stock:widget": 0,
+    })
+
+    system.run_quiescent()
+
+    # --- what happened ---------------------------------------------------
+    print("Per-site replica state (each site holds only its partition):")
+    for name, store in [("EU  p0", eu), ("US  p3", us), ("ASIA p6", asia)]:
+        print(f"  {name}: {store.owned_snapshot()}")
+
+    print("\nCheckout ordering — every US and ASIA replica applied the "
+          "two\nconflicting checkouts in the same order:")
+    for pid in (3, 4, 5, 6, 7, 8):
+        order = [op for op in cluster.store(pid).applied
+                 if op in (checkout, rival)]
+        print(f"  p{pid}: {order}")
+
+    print("\nLatency degrees (paper Section 4.3):")
+    for mid, degree in sorted(system.degrees().items()):
+        rec = system.meter.record_for(mid)
+        print(f"  {mid} -> {len(rec.dest_groups)} site(s), degree {degree}, "
+              f"{rec.worst_delivery_latency:.0f} ms worst-case")
+
+    cluster.assert_convergence()
+    check_all(system.log, system.topology)
+    print("\nConvergence and all multicast properties verified. ✓")
+    print(f"Traffic: {system.inter_group_messages} inter-site msgs; the EU "
+          f"site exchanged none for the checkouts (genuineness).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Baseline protocols of the paper's Figure 1 comparison."""
+
+from repro.baselines.detmerge import DeterministicMergeBroadcast
+from repro.baselines.fritzke import FritzkeMulticast
+from repro.baselines.global_consensus import GlobalConsensusMulticast
+from repro.baselines.optimistic import OptimisticBroadcast
+from repro.baselines.ring import RingMulticast
+from repro.baselines.sequencer import SequencerBroadcast
+from repro.baselines.skeen import SkeenMulticast
+
+__all__ = [
+    "DeterministicMergeBroadcast", "FritzkeMulticast",
+    "GlobalConsensusMulticast", "OptimisticBroadcast", "RingMulticast",
+    "SequencerBroadcast", "SkeenMulticast",
+]

@@ -1,0 +1,47 @@
+"""Fritzke, Ingels, Mostéfaoui & Raynal [5] — four-stage atomic multicast.
+
+The algorithm the paper's A1 optimises.  Per the paper's Section 4.1,
+the differences from A1 are:
+
+1. the initial dissemination uses **uniform** reliable multicast
+   (O(|dest|²) messages) instead of the non-uniform primitive;
+2. **no stage skipping**: every message — even one addressed to a
+   single group, or one whose group proposed the global maximum — walks
+   all four stages s0..s3, paying the second consensus instance.
+
+Both algorithms share the latency degree of 2 (the extra consensus is
+intra-group), but [5] runs more consensus instances and sends more
+intra-group messages — the quantity the ablation benchmark measures.
+
+Implementation: the stage machine is A1's with ``enable_stage_skipping``
+forced off and the uniform reliable multicast swapped in.
+"""
+
+from __future__ import annotations
+
+from repro.core.amcast import AtomicMulticastA1
+from repro.failure.detectors import FailureDetector
+from repro.net.topology import Topology
+from repro.rmcast.reliable import UniformReliableMulticast
+from repro.sim.process import Process
+
+
+class FritzkeMulticast(AtomicMulticastA1):
+    """One process's endpoint of the [5] baseline."""
+
+    RMCAST_CLS = UniformReliableMulticast
+
+    def __init__(
+        self,
+        process: Process,
+        topology: Topology,
+        detector: FailureDetector,
+        retry_timeout: float = 50.0,
+        relay_after: float = 20.0,
+        namespace: str = "fritzke",
+    ) -> None:
+        super().__init__(
+            process, topology, detector,
+            retry_timeout=retry_timeout, relay_after=relay_after,
+            enable_stage_skipping=False, namespace=namespace,
+        )

@@ -1,0 +1,23 @@
+"""Executable correctness properties from the paper."""
+
+from repro.checkers.genuineness import (
+    GenuinenessViolation, check_genuineness,
+)
+from repro.checkers.properties import (
+    PropertyViolation,
+    check_all,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_uniform_prefix_order,
+    check_validity,
+)
+from repro.checkers.quiescence import (
+    QuiescenceReport, QuiescenceViolation, check_quiescence,
+)
+
+__all__ = [
+    "GenuinenessViolation", "check_genuineness", "PropertyViolation",
+    "check_all", "check_uniform_agreement", "check_uniform_integrity",
+    "check_uniform_prefix_order", "check_validity", "QuiescenceReport",
+    "QuiescenceViolation", "check_quiescence",
+]

@@ -1,0 +1,139 @@
+"""Executable correctness properties of atomic multicast/broadcast.
+
+Each checker inspects a finished run (the :class:`DeliveryLog` plus the
+crash schedule and topology) and raises :class:`PropertyViolation` with
+a precise explanation on failure.  The properties are the ones of paper
+Section 2.2:
+
+* **uniform integrity** — every process delivers a message at most
+  once, only if addressed, and only if it was cast;
+* **validity** — if a correct process casts m, every correct addressee
+  delivers m;
+* **uniform agreement** — if *any* process (even one that later
+  crashes) delivers m, every correct addressee delivers m;
+* **uniform prefix order** — for any two processes p, q, the delivery
+  sequences projected on their common messages are prefix-related.
+
+Because delivery sequences only ever grow, checking the final sequences
+is equivalent to checking the "at any time t" formulation: a divergence
+at time t persists to the end of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.interfaces import AppMessage
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import Topology
+from repro.runtime.results import DeliveryLog
+
+
+class PropertyViolation(AssertionError):
+    """A paper property failed on a concrete run."""
+
+
+def check_uniform_integrity(log: DeliveryLog, topology: Topology) -> None:
+    """At most once; only addressees; only cast messages."""
+    cast = log.cast_messages()
+    for pid in log.processes():
+        seen = set()
+        for msg in log.delivered_messages(pid):
+            if msg.mid in seen:
+                raise PropertyViolation(
+                    f"process {pid} delivered {msg.mid} more than once"
+                )
+            seen.add(msg.mid)
+            if msg.mid not in cast:
+                raise PropertyViolation(
+                    f"process {pid} delivered {msg.mid}, which was never cast"
+                )
+            if topology.group_of(pid) not in cast[msg.mid].dest_groups:
+                raise PropertyViolation(
+                    f"process {pid} (group {topology.group_of(pid)}) "
+                    f"delivered {msg.mid} addressed to "
+                    f"{cast[msg.mid].dest_groups}"
+                )
+
+
+def check_validity(
+    log: DeliveryLog, topology: Topology, crashes: CrashSchedule
+) -> None:
+    """Correct caster => all correct addressees deliver."""
+    for mid, msg in log.cast_messages().items():
+        if crashes.is_faulty(msg.sender):
+            continue
+        _require_all_correct_addressees(log, topology, crashes, msg)
+
+
+def check_uniform_agreement(
+    log: DeliveryLog, topology: Topology, crashes: CrashSchedule
+) -> None:
+    """Any delivery => all correct addressees deliver."""
+    for mid, msg in log.cast_messages().items():
+        if not log.deliveries_of(mid):
+            continue
+        _require_all_correct_addressees(log, topology, crashes, msg)
+
+
+def _require_all_correct_addressees(
+    log: DeliveryLog, topology: Topology, crashes: CrashSchedule,
+    msg: AppMessage,
+) -> None:
+    delivered_by = set(log.deliveries_of(msg.mid))
+    for gid in msg.dest_groups:
+        for pid in topology.members(gid):
+            if crashes.is_faulty(pid):
+                continue
+            if pid not in delivered_by:
+                raise PropertyViolation(
+                    f"correct addressee {pid} never delivered {msg.mid} "
+                    f"(delivered by {sorted(delivered_by)})"
+                )
+
+
+def check_uniform_prefix_order(log: DeliveryLog, topology: Topology) -> None:
+    """Pairwise projected sequences must be prefix-related.
+
+    The projection P_{p,q} keeps only the messages addressed to both
+    p's and q's groups (paper Section 2.2).
+    """
+    cast = log.cast_messages()
+    pids = log.processes()
+    for i, p in enumerate(pids):
+        for q in pids[i + 1:]:
+            sp = _project(log.sequence(p), cast, topology, p, q)
+            sq = _project(log.sequence(q), cast, topology, p, q)
+            if not _is_prefix(sp, sq) and not _is_prefix(sq, sp):
+                raise PropertyViolation(
+                    f"prefix order violated between {p} and {q}: "
+                    f"{sp} vs {sq}"
+                )
+
+
+def _project(
+    sequence: Sequence[str], cast: Dict[str, AppMessage],
+    topology: Topology, p: int, q: int,
+) -> List[str]:
+    gp, gq = topology.group_of(p), topology.group_of(q)
+    return [
+        mid for mid in sequence
+        if gp in cast[mid].dest_groups and gq in cast[mid].dest_groups
+    ]
+
+
+def _is_prefix(a: Sequence[str], b: Sequence[str]) -> bool:
+    return len(a) <= len(b) and list(b[: len(a)]) == list(a)
+
+
+def check_all(
+    log: DeliveryLog,
+    topology: Topology,
+    crashes: Optional[CrashSchedule] = None,
+) -> None:
+    """Run every property check (the standard post-run assertion)."""
+    crashes = crashes or CrashSchedule.none()
+    check_uniform_integrity(log, topology)
+    check_validity(log, topology, crashes)
+    check_uniform_agreement(log, topology, crashes)
+    check_uniform_prefix_order(log, topology)

@@ -1,0 +1,52 @@
+"""Quiescence checker (paper Section 5, Proposition A.9).
+
+An algorithm is *quiescent* when, provided finitely many messages are
+cast, processes eventually stop sending messages.  In a discrete-event
+simulation this has a crisp operational form: after the workload is
+exhausted, the event queue must drain — if the protocol kept timers or
+retransmissions alive forever, :meth:`Simulator.run_until_quiescent`
+would trip its event budget instead.
+
+:func:`check_quiescence` additionally reports *when* the last protocol
+message was sent, so experiments can measure how quickly an algorithm
+settles after its last delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.trace import MessageTrace
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class QuiescenceViolation(AssertionError):
+    """The system kept sending after a finite workload."""
+
+
+@dataclass
+class QuiescenceReport:
+    """Outcome of a quiescence check."""
+
+    quiescent: bool
+    drained_at: Optional[float] = None
+    last_send_at: Optional[float] = None
+
+
+def check_quiescence(
+    sim: Simulator,
+    trace: Optional[MessageTrace] = None,
+    max_events: int = 10_000_000,
+) -> QuiescenceReport:
+    """Run the simulation out and assert the event queue drains."""
+    try:
+        drained_at = sim.run_until_quiescent(max_events=max_events)
+    except SimulationError as exc:
+        raise QuiescenceViolation(str(exc)) from exc
+    last_send = None
+    if trace is not None and trace.enabled:
+        last_send = trace.last_send_time()
+    return QuiescenceReport(
+        quiescent=True, drained_at=drained_at, last_send_at=last_send
+    )

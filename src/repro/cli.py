@@ -1,0 +1,132 @@
+"""Command-line entry point: regenerate the paper's artefacts.
+
+Usage::
+
+    python -m repro.cli                 # run every experiment, print all
+    python -m repro.cli fig1 theorems   # run a subset
+    python -m repro.cli --list          # show available experiments
+
+Each experiment prints the same rows/series the paper reports (or that
+our extension sections define); the benchmark suite asserts the shapes,
+this CLI is for eyeballing and for regenerating EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _fig1() -> str:
+    from repro.experiments.figure1 import fig1a_table, fig1b_table
+
+    return fig1a_table() + "\n\n" + fig1b_table()
+
+
+def _theorems() -> str:
+    from repro.experiments.theorems import theorem_table
+
+    return theorem_table()
+
+
+def _lower_bounds() -> str:
+    from repro.experiments.lower_bounds import lower_bound_table
+
+    return lower_bound_table()
+
+
+def _rate_sweep() -> str:
+    from repro.experiments.rate_sweep import rate_table
+
+    return rate_table()
+
+
+def _tradeoff() -> str:
+    from repro.experiments.tradeoff import tradeoff_table
+
+    return tradeoff_table()
+
+
+def _ablation() -> str:
+    from repro.experiments.ablation import ablation_table
+
+    return ablation_table()
+
+
+def _prediction() -> str:
+    from repro.experiments.prediction import prediction_table
+
+    return prediction_table()
+
+
+def _scalability() -> str:
+    from repro.experiments.scalability import scalability_table
+
+    return scalability_table()
+
+
+def _wan() -> str:
+    from repro.experiments.wan_heterogeneity import heterogeneity_table
+
+    return heterogeneity_table()
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig1": _fig1,
+    "theorems": _theorems,
+    "lower-bounds": _lower_bounds,
+    "rate-sweep": _rate_sweep,
+    "tradeoff": _tradeoff,
+    "ablation": _ablation,
+    "prediction": _prediction,
+    "wan": _wan,
+    "scalability": _scalability,
+}
+
+DESCRIPTIONS = {
+    "fig1": "Figure 1(a)+(b): protocol comparison tables",
+    "theorems": "Theorems 4.1 / 5.1 / 5.2 constructive runs",
+    "lower-bounds": "Propositions 3.1-3.3 counterexample search",
+    "rate-sweep": "Section 5.3 broadcast-rate sweep (100 ms WAN)",
+    "tradeoff": "Introduction's genuine-vs-broadcast tradeoff",
+    "ablation": "Stage-skipping ablation vs Fritzke et al. [5]",
+    "prediction": "Quiescence prediction strategies (§5.3 extension)",
+    "wan": "Heterogeneous three-continent WAN, A1 vs ring [4]",
+    "scalability": "Group-count/group-size sweeps of Figure 1 asymptotics",
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the paper's tables, figures and runs.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(f"{name:14s} {DESCRIPTIONS[name]}")
+        return 0
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for i, name in enumerate(chosen):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Modified Lamport clocks and latency-degree measurement (paper §2.3)."""
+
+from repro.clocks.lamport import LamportClock
+from repro.clocks.latency import LatencyMeter, MessageRecord
+
+__all__ = ["LamportClock", "LatencyMeter", "MessageRecord"]

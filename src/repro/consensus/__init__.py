@@ -1,0 +1,7 @@
+"""Uniform consensus inside each group (Paxos-based substrate)."""
+
+from repro.consensus.interfaces import ConsensusProtocol
+from repro.consensus.paxos import GroupConsensus
+from repro.consensus.sequence import ConsensusSequence
+
+__all__ = ["ConsensusProtocol", "GroupConsensus", "ConsensusSequence"]

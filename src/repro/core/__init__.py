@@ -1,0 +1,15 @@
+"""The paper's contributions: Algorithms A1 and A2."""
+
+from repro.core.abcast import AtomicBroadcastA2
+from repro.core.amcast import AtomicMulticastA1
+from repro.core.interfaces import (
+    STAGE_S0, STAGE_S1, STAGE_S2, STAGE_S3,
+    AppMessage, AtomicBroadcast, AtomicMulticast,
+)
+from repro.core.nongenuine import NonGenuineMulticast
+
+__all__ = [
+    "AtomicBroadcastA2", "AtomicMulticastA1", "AppMessage",
+    "AtomicBroadcast", "AtomicMulticast", "NonGenuineMulticast",
+    "STAGE_S0", "STAGE_S1", "STAGE_S2", "STAGE_S3",
+]

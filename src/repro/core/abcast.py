@@ -1,0 +1,283 @@
+"""Algorithm A2 — fault-tolerant atomic broadcast with latency degree 1.
+
+Faithful implementation of the paper's Algorithm A2 (Section 5).
+Processes execute a sequence of *rounds*.  In round K:
+
+1. inside each group, consensus instance K fixes the group's **message
+   bundle** — the set of messages R-Delivered but not yet A-Delivered
+   (possibly empty);
+2. groups exchange bundles; once a process holds round-K bundles from
+   every group it A-Delivers their union in a deterministic order.
+
+Because rounds run *proactively* (a round may carry empty bundles), a
+message that is broadcast while rounds are in flight rides the very next
+bundle exchange and is delivered after a single inter-group message
+delay — latency degree 1 (Theorem 5.1).
+
+Quiescence (paper lines 21-23): the round counter K advances every
+round, but ``Barrier`` — the last round a process intends to run — only
+advances when a round actually delivered something.  After an idle
+round, K > Barrier and the process stops proposing; with no traffic the
+whole system goes silent (Proposition A.9).  A later broadcast restarts
+the machinery: the caster's group starts round K again, and its bundle
+pushes every other group's Barrier forward (line 10).  Such a "cold"
+message pays latency degree 2 (Theorem 5.2) — the unavoidable price of
+quiescence established by the paper's Section 3 lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.consensus.paxos import GroupConsensus
+from repro.consensus.sequence import ConsensusSequence
+from repro.core.interfaces import AppMessage, AtomicBroadcast, DeliveryHandler
+from repro.core.prediction import PaperPredictor, QuiescencePredictor
+from repro.failure.detectors import FailureDetector
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.rmcast.reliable import ReliableMulticast
+from repro.sim.process import Process
+
+
+class AtomicBroadcastA2(AtomicBroadcast):
+    """One process's endpoint of Algorithm A2."""
+
+    def __init__(
+        self,
+        process: Process,
+        topology: Topology,
+        detector: FailureDetector,
+        retry_timeout: float = 50.0,
+        relay_after: float = 20.0,
+        propose_delay: float = 0.0,
+        predictor: Optional[QuiescencePredictor] = None,
+        namespace: str = "abc",
+    ) -> None:
+        """Attach an A2 endpoint to ``process``.
+
+        Args:
+            predictor: Quiescence-prediction strategy (paper §5.3's
+                extension point).  Defaults to the paper's rule: stop
+                after the first empty round.
+            propose_delay: Optional bundling window.  When > 0 the
+                process waits this long before proposing each round's
+                bundle, re-reading its backlog at proposal time.  The
+                asynchronous model allows any such scheduling, so this
+                only *selects among admissible runs*: it realises the
+                favourable run of Theorem 5.1, where a message broadcast
+                while a round is starting slips into that round's bundle
+                and is delivered with latency degree 1.  With the
+                default of 0 the process proposes the instant a round
+                opens, which in a simulator with zero-latency local
+                steps makes every broadcast just miss the closing round.
+        """
+        self.process = process
+        self.topology = topology
+        self.ns = namespace
+        self.propose_delay = propose_delay
+        self.predictor = predictor or PaperPredictor()
+        self._propose_scheduled = False
+        self.my_gid = topology.group_of(process.pid)
+
+        # Paper line 2-3: K=1, propK=1, sets empty, Barrier=0.
+        self.prop_k = 1
+        self.rdelivered: Dict[str, AppMessage] = {}
+        self.adelivered: Set[str] = set()
+        self.barrier = 0
+        # Bundles received per round and group: msgs[x][gid] = wire tuple.
+        self.msgs: Dict[int, Dict[int, tuple]] = {}
+        self._own_bundle: Dict[int, tuple] = {}
+        self._rounds_executed = 0
+        self._useful_rounds = 0
+        self._wakeups = 0
+        self._completing = False
+        self._handler: Optional[DeliveryHandler] = None
+
+        self.rmcast = ReliableMulticast(
+            process, detector, relay_after=relay_after,
+            namespace=f"{self.ns}.rmc",
+        )
+        self.rmcast.set_delivery_handler(self._on_rdeliver)
+        self.consensus = GroupConsensus(
+            process, topology.members(self.my_gid), detector,
+            retry_timeout=retry_timeout, namespace=f"{self.ns}.cons",
+        )
+        self.sequence = ConsensusSequence(
+            self.consensus, self._on_decided, first_instance=1
+        )
+        process.register_handler(f"{self.ns}.bundle", self._on_bundle)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The current round number K."""
+        return self.sequence.current
+
+    @property
+    def rounds_executed(self) -> int:
+        """Rounds this process completed (diagnostics, rate sweep)."""
+        return self._rounds_executed
+
+    @property
+    def useful_rounds(self) -> int:
+        """Completed rounds that delivered at least one message."""
+        return self._useful_rounds
+
+    @property
+    def wakeups(self) -> int:
+        """Rounds this process *initiated* from the reactive state.
+
+        A wakeup is a proposal made with a non-empty backlog while
+        ``K > Barrier`` — i.e. the quiescence prediction had said "no
+        more traffic" and a message proved it wrong.  Every wakeup is a
+        Theorem 5.2 situation: that message cannot be delivered below
+        latency degree 2.
+        """
+        return self._wakeups
+
+    def set_delivery_handler(self, handler: DeliveryHandler) -> None:
+        if self._handler is not None:
+            raise ValueError("delivery handler already set")
+        self._handler = handler
+
+    def a_bcast(self, msg: AppMessage) -> None:
+        """Paper Task 1 (lines 4-5): R-MCast m inside our own group."""
+        my_members = self.topology.members(self.my_gid)
+        self.rmcast.multicast(my_members, {"wire": msg.to_wire()}, mid=msg.mid)
+
+    def start_rounds(self) -> None:
+        """Warm the system up: behave as if round 1 must run.
+
+        The paper's algorithm starts with Barrier = 0, so a freshly
+        booted system is quiescent until the first broadcast (which then
+        pays degree 2).  Experiments that need a *warm* system
+        (Theorem 5.1) call this to set Barrier = 1, which bootstraps the
+        proactive round pipeline.
+        """
+        self.barrier = max(self.barrier, 1)
+        self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Tasks 2 and 3
+    # ------------------------------------------------------------------
+    def _on_rdeliver(self, payload: dict, mid: str, sender: int) -> None:
+        """Paper lines 6-7."""
+        msg = AppMessage.from_wire(payload["wire"])
+        if msg.mid not in self.adelivered:
+            self.rdelivered.setdefault(msg.mid, msg)
+        self.predictor.observe_cast(self.process.sim.now)
+        self._maybe_propose()
+
+    def _on_bundle(self, netmsg: Message) -> None:
+        """Paper lines 8-10."""
+        x = netmsg.payload["k"]
+        gid = self.topology.group_of(netmsg.src)
+        if x >= self.k:
+            self.msgs.setdefault(x, {}).setdefault(gid, netmsg.payload["set"])
+        if x > self.barrier:
+            self.barrier = x
+        self._maybe_propose()
+        self._try_complete_round()
+
+    # ------------------------------------------------------------------
+    # Task 4: rounds
+    # ------------------------------------------------------------------
+    def _backlog(self) -> tuple:
+        """RDELIVERED \\ ADELIVERED as a deterministic wire tuple."""
+        fresh = [m for mid, m in self.rdelivered.items()
+                 if mid not in self.adelivered]
+        return tuple(sorted(m.to_wire() for m in fresh))
+
+    def _maybe_propose(self) -> None:
+        """Paper lines 11-13 (optionally behind the bundling window)."""
+        if self.prop_k > self.k:
+            return
+        backlog = self._backlog()
+        if not backlog and self.k > self.barrier:
+            return  # quiescent: nothing pending and no round obligation
+        if self.propose_delay > 0:
+            if not self._propose_scheduled:
+                self._propose_scheduled = True
+                self.process.sim.schedule(
+                    self.propose_delay, self._do_delayed_propose,
+                    label=f"{self.ns}.propose",
+                )
+            return
+        if backlog and self.k > self.barrier:
+            self._wakeups += 1
+        self.sequence.propose(self.k, backlog)
+        self.prop_k = self.k + 1
+
+    def _do_delayed_propose(self) -> None:
+        """Fire the bundling window: re-check guards, then propose."""
+        self._propose_scheduled = False
+        if self.process.crashed or self.prop_k > self.k:
+            return
+        backlog = self._backlog()
+        if not backlog and self.k > self.barrier:
+            return
+        if backlog and self.k > self.barrier:
+            self._wakeups += 1
+        self.sequence.propose(self.k, backlog)
+        self.prop_k = self.k + 1
+
+    def _on_decided(self, instance: int, bundle: tuple) -> None:
+        """Paper lines 14-17: publish our group's bundle for the round."""
+        others = [p for p in self.topology.processes
+                  if self.topology.group_of(p) != self.my_gid]
+        if others:
+            self.process.send_many(
+                others, f"{self.ns}.bundle",
+                {"k": instance, "set": bundle},
+            )
+        self.msgs.setdefault(instance, {})[self.my_gid] = bundle
+        self._own_bundle[instance] = bundle
+        self._try_complete_round()
+
+    def _try_complete_round(self) -> None:
+        """Paper lines 16-23, re-evaluated on every relevant event."""
+        if self._completing:
+            return  # re-entered from advance_to(); the outer loop resumes
+        self._completing = True
+        try:
+            self._complete_rounds()
+        finally:
+            self._completing = False
+
+    def _complete_rounds(self) -> None:
+        while True:
+            round_k = self.k
+            if round_k not in self._own_bundle:
+                return  # our group has not decided this round yet
+            bundles = self.msgs.get(round_k, {})
+            if any(gid not in bundles for gid in self.topology.group_ids):
+                return  # line 16: still waiting on some group's bundle
+            # Line 18: union of all bundles.
+            wires = sorted({w for bundle in bundles.values() for w in bundle})
+            to_deliver = [AppMessage.from_wire(w) for w in wires
+                          if w[0] not in self.adelivered]
+            # Line 19: deterministic delivery order (sorted by id).
+            for msg in to_deliver:
+                self.adelivered.add(msg.mid)
+                self.rdelivered.pop(msg.mid, None)
+                if self._handler is None:
+                    raise RuntimeError("no A-Deliver handler installed")
+                self._handler(msg)
+            # Lines 21-23: advance the round; keep going only if useful.
+            self._rounds_executed += 1
+            if to_deliver:
+                self._useful_rounds += 1
+            self.msgs.pop(round_k, None)
+            self._own_bundle.pop(round_k, None)
+            self.sequence.advance_to(round_k + 1)
+            # Lines 22-23, generalised: the predictor decides whether to
+            # commit to the next round (the paper's rule is the default
+            # PaperPredictor: continue iff this round was useful).
+            keep_going = self.predictor.should_continue(
+                delivered=bool(to_deliver), now=self.process.sim.now)
+            if keep_going and self.k > self.barrier:
+                self.barrier = self.k
+            self._maybe_propose()

@@ -1,0 +1,272 @@
+"""Algorithm A1 — genuine atomic multicast with optimal latency degree 2.
+
+Faithful implementation of the paper's Algorithm A1 (Section 4).  Every
+multicast message walks the stage machine s0..s3:
+
+* **s0** — each destination group runs (intra-group) consensus to agree
+  on its timestamp proposal for the message;
+* **s1** — destination groups exchange proposals; the final timestamp is
+  the maximum;
+* **s2** — a group whose proposal was below the maximum runs another
+  consensus to push its clock past the final timestamp;
+* **s3** — the message is A-Delivered once its (timestamp, id) pair is
+  minimal among all pending messages.
+
+The two optimisations over Fritzke et al. [5] (paper Section 4.1):
+
+1. messages addressed to a *single* group jump s0 → s3 (lines 28-29);
+2. a group whose proposal equals the maximum skips s2 (line 35-36).
+
+Set ``enable_stage_skipping=False`` to disable both — the ablation
+benchmark uses this to measure what the optimisation saves.
+
+Genuineness: only processes in ``m.dest_groups`` (plus the caster, which
+sends the initial reliable multicast) ever handle messages concerning m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.consensus.paxos import GroupConsensus
+from repro.consensus.sequence import ConsensusSequence
+from repro.core.interfaces import (
+    STAGE_S0,
+    STAGE_S1,
+    STAGE_S2,
+    STAGE_S3,
+    AppMessage,
+    AtomicMulticast,
+    DeliveryHandler,
+)
+from repro.failure.detectors import FailureDetector
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.rmcast.reliable import ReliableMulticast
+from repro.sim.process import Process
+
+
+@dataclass
+class _Pending:
+    """One entry of the PENDING set (paper's message fields)."""
+
+    msg: AppMessage
+    ts: int
+    stage: int
+
+
+class AtomicMulticastA1(AtomicMulticast):
+    """One process's endpoint of Algorithm A1."""
+
+    #: Reliable multicast flavour; Fritzke et al. [5] swaps in the
+    #: uniform variant (paper Section 4.1, first difference from [5]).
+    RMCAST_CLS = ReliableMulticast
+
+    def __init__(
+        self,
+        process: Process,
+        topology: Topology,
+        detector: FailureDetector,
+        retry_timeout: float = 50.0,
+        relay_after: float = 20.0,
+        enable_stage_skipping: bool = True,
+        namespace: str = "amc",
+    ) -> None:
+        self.process = process
+        self.topology = topology
+        self.ns = namespace
+        self.enable_stage_skipping = enable_stage_skipping
+        self.my_gid = topology.group_of(process.pid)
+
+        # Paper line 2: K=1, propK=1, PENDING and ADELIVERED empty.
+        self.prop_k = 1
+        self.pending: Dict[str, _Pending] = {}
+        self.adelivered: Set[str] = set()
+        # Timestamp proposals received via (TS, m) messages, buffered by
+        # message id and proposing group (may arrive before stage s1).
+        self.ts_proposals: Dict[str, Dict[int, int]] = {}
+        self._handler: Optional[DeliveryHandler] = None
+
+        self.rmcast = self.RMCAST_CLS(
+            process, detector, relay_after=relay_after,
+            namespace=f"{self.ns}.rmc",
+        )
+        self.rmcast.set_delivery_handler(self._on_rdeliver)
+        self.consensus = GroupConsensus(
+            process, topology.members(self.my_gid), detector,
+            retry_timeout=retry_timeout, namespace=f"{self.ns}.cons",
+        )
+        self.sequence = ConsensusSequence(
+            self.consensus, self._on_decided, first_instance=1
+        )
+        process.register_handler(f"{self.ns}.ts", self._on_ts)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The group-clock / next-consensus-instance value K."""
+        return self.sequence.current
+
+    def set_delivery_handler(self, handler: DeliveryHandler) -> None:
+        if self._handler is not None:
+            raise ValueError("delivery handler already set")
+        self._handler = handler
+
+    def a_mcast(self, msg: AppMessage) -> None:
+        """Paper Task 1 (line 8-9): R-MCast m to the addressees."""
+        if not msg.dest_groups:
+            raise ValueError("message must address at least one group")
+        dest_pids = self.topology.processes_of_groups(msg.dest_groups)
+        self.rmcast.multicast(dest_pids, {"wire": msg.to_wire()}, mid=msg.mid)
+
+    # ------------------------------------------------------------------
+    # Stage s0 entry (paper lines 10-13)
+    # ------------------------------------------------------------------
+    def _on_rdeliver(self, payload: dict, mid: str, sender: int) -> None:
+        self._ensure_pending(AppMessage.from_wire(payload["wire"]))
+
+    def _ensure_pending(self, msg: AppMessage) -> None:
+        """Add m to PENDING at stage s0 unless already known."""
+        if msg.mid in self.pending or msg.mid in self.adelivered:
+            return
+        self.pending[msg.mid] = _Pending(msg=msg, ts=self.k, stage=STAGE_S0)
+        self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Consensus interaction (paper lines 14-17)
+    # ------------------------------------------------------------------
+    def _maybe_propose(self) -> None:
+        if self.prop_k > self.k:
+            return
+        eligible = [
+            entry for entry in self.pending.values()
+            if entry.stage in (STAGE_S0, STAGE_S2)
+        ]
+        if not eligible:
+            return
+        msg_set = tuple(sorted(
+            (entry.msg.to_wire(), entry.stage, entry.ts)
+            for entry in eligible
+        ))
+        self.sequence.propose(self.k, msg_set)
+        self.prop_k = self.k + 1
+
+    def _on_decided(self, instance: int, msg_set: tuple) -> None:
+        """Paper lines 18-32: process the decision of instance K."""
+        decided_ts: List[int] = []
+        to_check_ts: List[str] = []
+        for wire, stage, ts in msg_set:
+            msg = AppMessage.from_wire(wire)
+            if msg.mid in self.adelivered:
+                continue
+            entry = self.pending.get(msg.mid)
+            if entry is None:
+                # Line 30: the decision introduces a message we had not
+                # seen (our R-Deliver is late); adopt it.
+                entry = _Pending(msg=msg, ts=ts, stage=stage)
+                self.pending[msg.mid] = entry
+            if len(msg.dest_groups) > 1:
+                if stage == STAGE_S0:
+                    # Lines 22-24: this instance is our group's proposal.
+                    entry.ts = instance
+                    entry.stage = STAGE_S1
+                    self._send_ts(msg, instance)
+                    to_check_ts.append(msg.mid)
+                else:
+                    # Lines 25-26: clock pushed past the final timestamp.
+                    entry.ts = ts
+                    entry.stage = STAGE_S3
+            else:
+                if self.enable_stage_skipping:
+                    # Lines 28-29: single-group message — second
+                    # consensus not needed, jump straight to s3.
+                    entry.ts = instance
+                    entry.stage = STAGE_S3
+                else:
+                    # Ablation: emulate the four-stage pipeline of [5]
+                    # even for single-group messages.
+                    if stage == STAGE_S0:
+                        entry.ts = instance
+                        entry.stage = STAGE_S2
+                    else:
+                        entry.ts = ts
+                        entry.stage = STAGE_S3
+            decided_ts.append(entry.ts)
+        # Line 31: K <- max(max ts, K) + 1.
+        new_k = max(max(decided_ts, default=0), self.k) + 1
+        self.sequence.advance_to(new_k)
+        # Line 32 + re-evaluate guards that depend on K.
+        self._adelivery_test()
+        for mid in to_check_ts:
+            self._check_ts_complete(mid)
+        self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Stage s1: proposal exchange (paper lines 24, 33-40)
+    # ------------------------------------------------------------------
+    def _send_ts(self, msg: AppMessage, proposal: int) -> None:
+        """Line 24: send our group's proposal to the other dest groups."""
+        other_groups = [g for g in msg.dest_groups if g != self.my_gid]
+        dest_pids = self.topology.processes_of_groups(other_groups)
+        if dest_pids:
+            self.process.send_many(
+                dest_pids, f"{self.ns}.ts",
+                {"wire": msg.to_wire(), "ts": proposal, "gid": self.my_gid},
+            )
+
+    def _on_ts(self, netmsg: Message) -> None:
+        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        proposals = self.ts_proposals.setdefault(msg.mid, {})
+        proposals[netmsg.payload["gid"]] = netmsg.payload["ts"]
+        # Line 10: a TS message also introduces m (footnote 4 liveness).
+        self._ensure_pending(msg)
+        self._check_ts_complete(msg.mid)
+
+    def _check_ts_complete(self, mid: str) -> None:
+        """Lines 33-40: all proposals in — fix the final timestamp."""
+        entry = self.pending.get(mid)
+        if entry is None or entry.stage != STAGE_S1:
+            return
+        proposals = self.ts_proposals.get(mid, {})
+        needed = [g for g in entry.msg.dest_groups if g != self.my_gid]
+        if any(g not in proposals for g in needed):
+            return
+        max_remote = max(proposals[g] for g in needed)
+        if entry.ts >= max_remote and self.enable_stage_skipping:
+            # Lines 35-36: our proposal is the maximum — the group clock
+            # already passed it (line 31), skip the second consensus.
+            entry.stage = STAGE_S3
+            self._adelivery_test()
+        else:
+            # Lines 39-40: adopt the final timestamp, catch the clock up.
+            entry.ts = max(entry.ts, max_remote)
+            entry.stage = STAGE_S2
+            self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Stage s3: delivery (paper lines 3-7)
+    # ------------------------------------------------------------------
+    def _adelivery_test(self) -> None:
+        """Deliver while some s3 message is minimal among all pending."""
+        while True:
+            candidate = self._minimal_pending()
+            if candidate is None or candidate.stage != STAGE_S3:
+                return
+            mid = candidate.msg.mid
+            del self.pending[mid]
+            self.adelivered.add(mid)
+            self.ts_proposals.pop(mid, None)
+            if self._handler is None:
+                raise RuntimeError("no A-Deliver handler installed")
+            self._handler(candidate.msg)
+
+    def _minimal_pending(self) -> Optional[_Pending]:
+        """The pending entry with the smallest (ts, mid), if any."""
+        best: Optional[_Pending] = None
+        for entry in self.pending.values():
+            if best is None or (entry.ts, entry.msg.mid) < (best.ts, best.msg.mid):
+                best = entry
+        return best

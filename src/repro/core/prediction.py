@@ -1,0 +1,124 @@
+"""Quiescence-prediction strategies for Algorithm A2.
+
+The paper's A2 stops executing rounds as soon as one round delivers
+nothing (lines 22-23) and notes the consequence: a message broadcast
+after the stop pays latency degree 2.  Section 5.3 closes with *"In
+case the broadcast frequency is too low or not constant, to prevent
+processes from stopping prematurely, more elaborate prediction
+strategies based on application behavior could be used."*
+
+This module implements that extension point.  A predictor decides, at
+the end of each round, whether the process should commit to running the
+next round (i.e. push ``Barrier`` forward) even though the finished
+round may have been empty.  All strategies only *delay* quiescence by a
+bounded amount, so Proposition A.9 (quiescence under finite workloads)
+is preserved.
+
+Strategies:
+
+* :class:`PaperPredictor` — the paper's rule: continue iff the finished
+  round delivered something.
+* :class:`LingerPredictor` — tolerate up to ``linger_rounds``
+  consecutive empty rounds before stopping.  A static hedge against
+  bursty traffic.
+* :class:`RateAdaptivePredictor` — estimate the inter-arrival gap of
+  recent traffic (exponentially weighted) and keep rounds running while
+  the next message is "due" within a configurable number of estimated
+  gaps.  Adapts the hedge to the observed workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class QuiescencePredictor:
+    """Decides whether to run another round after the current one."""
+
+    def observe_cast(self, now: float) -> None:
+        """Called when the local process R-Delivers fresh traffic."""
+
+    def should_continue(self, delivered: bool, now: float) -> bool:
+        """Commit to the next round?  Called once per finished round.
+
+        Args:
+            delivered: Whether the finished round delivered messages.
+            now: Virtual time at the end of the round.
+        """
+        raise NotImplementedError
+
+
+class PaperPredictor(QuiescencePredictor):
+    """The paper's lines 22-23: continue only after a useful round."""
+
+    def should_continue(self, delivered: bool, now: float) -> bool:
+        return delivered
+
+
+class LingerPredictor(QuiescencePredictor):
+    """Run up to ``linger_rounds`` empty rounds before going quiet."""
+
+    def __init__(self, linger_rounds: int = 2) -> None:
+        if linger_rounds < 0:
+            raise ValueError("linger_rounds must be non-negative")
+        self.linger_rounds = linger_rounds
+        self._empty_streak = 0
+
+    def should_continue(self, delivered: bool, now: float) -> bool:
+        if delivered:
+            self._empty_streak = 0
+            return True
+        self._empty_streak += 1
+        return self._empty_streak <= self.linger_rounds
+
+
+class RateAdaptivePredictor(QuiescencePredictor):
+    """Keep rounds warm while traffic looks likely to arrive soon.
+
+    Maintains an exponentially weighted moving average of the gaps
+    between locally observed casts.  After an empty round at time t,
+    the process keeps running iff ``t - last_cast`` is still within
+    ``patience`` estimated gaps — i.e. the next message is plausibly
+    imminent.  With no history the predictor falls back to the paper's
+    rule (stop on empty).
+    """
+
+    def __init__(self, patience: float = 3.0, alpha: float = 0.3,
+                 max_gap: Optional[float] = None) -> None:
+        """Create the predictor.
+
+        Args:
+            patience: How many estimated inter-arrival gaps to wait
+                beyond the last observed cast before giving up.
+            alpha: EWMA weight of the newest gap observation.
+            max_gap: Optional hard cap on the estimated gap, bounding
+                how long the predictor can keep an idle system busy.
+        """
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.patience = patience
+        self.alpha = alpha
+        self.max_gap = max_gap
+        self._last_cast: Optional[float] = None
+        self._ewma_gap: Optional[float] = None
+
+    def observe_cast(self, now: float) -> None:
+        if self._last_cast is not None:
+            gap = max(now - self._last_cast, 1e-9)
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap = (self.alpha * gap
+                                  + (1 - self.alpha) * self._ewma_gap)
+            if self.max_gap is not None:
+                self._ewma_gap = min(self._ewma_gap, self.max_gap)
+        self._last_cast = now
+
+    def should_continue(self, delivered: bool, now: float) -> bool:
+        if delivered:
+            return True
+        if self._last_cast is None or self._ewma_gap is None:
+            return False  # no history: fall back to the paper's rule
+        return (now - self._last_cast) <= self.patience * self._ewma_gap

@@ -1,0 +1,101 @@
+"""Ablation: what A1's stage skipping buys over Fritzke et al. [5].
+
+Paper Section 4.1 lists A1's two optimisations:
+
+1. messages addressed to a single group jump s0 → s3 (no timestamp
+   exchange, no second consensus);
+2. a group whose proposal equals the final timestamp skips s2 (no
+   second consensus there either);
+
+plus the switch from uniform to non-uniform reliable multicast.  The
+paper's claim (Section 6): *"This has no impact on the latency degree
+or on the number of inter-group messages sent ... However, our
+algorithm sends fewer intra-group messages."*
+
+We run the same mostly-local workload through A1, A1 with skipping
+disabled, and full [5] (no skipping + uniform rmcast), and report
+latency degrees and message counts — the claim shows up as equal
+degrees, (near-)equal inter-group counts and a strictly decreasing
+intra-group count as each optimisation is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.runtime.builder import build_system
+from repro.runtime.results import Row, format_table
+from repro.workload.generators import (
+    poisson_workload,
+    schedule_workload,
+    zipf_group_count,
+)
+
+
+@dataclass
+class AblationPoint:
+    """One variant's measurements on the shared workload."""
+
+    variant: str
+    messages: int
+    multi_group_degree: int
+    inter_msgs: int
+    intra_msgs: int
+
+
+def run_variant(protocol: str, seed: int = 1, groups: int = 3, d: int = 3,
+                rate: float = 0.6, duration: float = 20.0) -> AblationPoint:
+    """One variant on a Zipf-local workload (most messages 1 group)."""
+    system = build_system(protocol=protocol, group_sizes=[d] * groups,
+                          seed=seed)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"), rate=rate,
+        duration=duration, destinations=zipf_group_count(groups),
+    )
+    msgs = schedule_workload(system, plans)
+    system.run_quiescent()
+    multi = [system.meter.latency_degree(m.mid) for m in msgs
+             if len(m.dest_groups) > 1]
+    multi = [x for x in multi if x is not None]
+    return AblationPoint(
+        variant=protocol,
+        messages=len(msgs),
+        multi_group_degree=min(multi) if multi else -1,
+        inter_msgs=system.inter_group_messages,
+        intra_msgs=system.intra_group_messages,
+    )
+
+
+def ablation_table(seed: int = 1) -> str:
+    """Render the three-variant comparison."""
+    labels = {
+        "a1": "A1 (both optimisations)",
+        "a1-noskip": "A1 minus stage skipping",
+        "fritzke": "[5] (no skip + uniform rmcast)",
+    }
+    rows: List[Row] = []
+    for protocol in ("a1", "a1-noskip", "fritzke"):
+        p = run_variant(protocol, seed=seed)
+        rows.append(Row(
+            label=labels[protocol],
+            values=[p.messages, p.multi_group_degree, p.inter_msgs,
+                    p.intra_msgs],
+        ))
+    return format_table(
+        "Ablation — A1's stage skipping vs Fritzke et al. [5]",
+        ["variant", "msgs", "multi-grp deg", "inter msgs", "intra msgs"],
+        rows,
+        note=("Paper §6: skipping changes neither the latency degree nor "
+              "the inter-group message count, but saves consensus "
+              "instances — visible as the intra-group column growing as "
+              "optimisations are removed."),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(ablation_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,136 @@
+"""Quiescence-prediction strategy comparison (paper §5.3 extension).
+
+The paper's closing remark — bursty or slow traffic makes the default
+"stop after one empty round" rule stop prematurely, and "more elaborate
+prediction strategies based on application behavior could be used" —
+turned into a measured experiment.
+
+A bursty workload (clumps of broadcasts separated by idle gaps) runs
+through Algorithm A2 under three predictors:
+
+* the paper's rule (stop on first empty round);
+* a static linger (keep N empty rounds alive);
+* a rate-adaptive linger (EWMA of observed inter-arrival gaps).
+
+Reported per strategy: fraction of messages that paid the quiescence
+restart (degree >= 2), empty rounds executed (the cost of lingering),
+and mean delivery latency.  The tradeoff curve is the deliverable: more
+lingering converts restart penalties into idle-round overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.prediction import (
+    LingerPredictor,
+    PaperPredictor,
+    RateAdaptivePredictor,
+)
+from repro.net.topology import LatencyModel
+from repro.runtime.builder import build_system
+from repro.runtime.results import Row, format_table
+from repro.workload.generators import burst_workload, schedule_workload
+
+
+@dataclass
+class PredictionPoint:
+    """One strategy's measurements on the shared bursty workload."""
+
+    strategy: str
+    messages: int
+    wakeups: int                # restarts from the reactive state
+    empty_rounds: int           # wasted proactive rounds
+    mean_latency_ms: float
+
+
+def run_strategy(
+    name: str,
+    predictor_factory: Optional[Callable],
+    seed: int = 1,
+    bursts: int = 6,
+    burst_size: int = 4,
+    gap_ms: float = 1_500.0,
+) -> PredictionPoint:
+    """One predictor against the bursty workload (time unit = ms)."""
+    kwargs = {}
+    if predictor_factory is not None:
+        kwargs["predictor_factory"] = predictor_factory
+    system = build_system(
+        protocol="a2", group_sizes=[3, 3], seed=seed,
+        latency=LatencyModel.wan(intra_ms=1.0, inter_ms=100.0,
+                                 inter_jitter_ms=2.0),
+        propose_delay=5.0, **kwargs,
+    )
+    plans = burst_workload(
+        system.topology, system.rng.stream("wl"), bursts=bursts,
+        burst_size=burst_size, gap=gap_ms, spread=120.0,
+    )
+    messages = schedule_workload(system, plans)
+    system.run_quiescent()
+
+    latencies = [
+        system.meter.record_for(m.mid).mean_delivery_latency
+        for m in messages
+        if system.meter.record_for(m.mid).mean_delivery_latency is not None
+    ]
+    endpoint = system.endpoints[0]
+    wakeups = sum(ep.wakeups for ep in system.endpoints.values()
+                  if hasattr(ep, "wakeups"))
+    return PredictionPoint(
+        strategy=name,
+        messages=len(messages),
+        wakeups=wakeups,
+        empty_rounds=endpoint.rounds_executed - endpoint.useful_rounds,
+        mean_latency_ms=(sum(latencies) / len(latencies)
+                         if latencies else 0.0),
+    )
+
+
+STRATEGIES = [
+    # Rounds take ~110 ms here, so linger 5 covers ~0.55 s of idle time
+    # (too short for the 1.5 s burst gaps) and linger 20 covers ~2.2 s
+    # (bridges them).
+    ("paper (stop on empty)", PaperPredictor),
+    ("linger 5 rounds", lambda: LingerPredictor(linger_rounds=5)),
+    ("linger 20 rounds", lambda: LingerPredictor(linger_rounds=20)),
+    ("rate-adaptive", lambda: RateAdaptivePredictor(patience=4.0)),
+]
+
+
+def run_all(seed: int = 1) -> List[PredictionPoint]:
+    """All strategies on the same workload."""
+    return [run_strategy(name, factory, seed=seed)
+            for name, factory in STRATEGIES]
+
+
+def prediction_table(seed: int = 1) -> str:
+    """Render the strategy comparison."""
+    rows = [
+        Row(label=p.strategy,
+            values=[p.messages, p.wakeups,
+                    p.empty_rounds, f"{p.mean_latency_ms:.0f}"])
+        for p in run_all(seed)
+    ]
+    return format_table(
+        "Quiescence prediction strategies (paper §5.3 extension) — "
+        "bursty workload, 1.5 s idle gaps",
+        ["strategy", "msgs", "wakeups", "empty rounds", "mean lat (ms)"],
+        rows,
+        note=("A wakeup is a round started from the reactive state — a "
+              "prediction mistake; every message forcing one is a "
+              "Theorem 5.2 situation (latency degree >= 2 guaranteed). "
+              "Lingering trades idle-round overhead for fewer wakeups; "
+              "the rate-adaptive predictor approaches the long linger's "
+              "wakeup count at a fraction of its idle rounds once it "
+              "has learned the burst gap."),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(prediction_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

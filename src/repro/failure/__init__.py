@@ -1,0 +1,12 @@
+"""Crash schedules and simulated failure detectors."""
+
+from repro.failure.detectors import (
+    EventuallyPerfectDetector, FailureDetector, PerfectDetector,
+)
+from repro.failure.heartbeat import HeartbeatFailureDetector
+from repro.failure.schedule import CrashSchedule
+
+__all__ = [
+    "EventuallyPerfectDetector", "FailureDetector", "PerfectDetector",
+    "CrashSchedule", "HeartbeatFailureDetector",
+]

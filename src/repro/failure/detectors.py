@@ -1,0 +1,94 @@
+"""Simulated failure detectors.
+
+Rather than exchanging heartbeats (which would pollute the genuineness
+and message-complexity measurements), detectors here are *oracles* driven
+by the ground-truth crash state, with configurable accuracy:
+
+* :class:`PerfectDetector` — suspects exactly the crashed processes,
+  after a fixed detection delay.  Models the class P.
+* :class:`EventuallyPerfectDetector` — before a stabilisation time it may
+  wrongly suspect correct processes (each query flips a coin); afterwards
+  it behaves like a perfect detector.  Models ◊P, strong enough for ◊S
+  use inside consensus.
+
+This oracle design mirrors the paper's measurement methodology: in
+Figure 1 the paper charges the algorithms for *protocol* messages only,
+assuming an oracle-based consensus/reliable-broadcast substrate ([6],
+[11]); detector traffic is out of band.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class FailureDetector:
+    """Interface: per-process suspicion queries."""
+
+    def suspects(self, querying_pid: int, target_pid: int) -> bool:
+        """Does ``querying_pid`` currently suspect ``target_pid``?"""
+        raise NotImplementedError
+
+    def leader(self, querying_pid: int, candidates) -> Optional[int]:
+        """First candidate (ascending pid) not suspected, or None.
+
+        Consensus uses this to pick the ballot-0 proposer and its
+        replacements; every correct process eventually agrees on the
+        leader once the detector stabilises.
+        """
+        for pid in sorted(candidates):
+            if not self.suspects(querying_pid, pid):
+                return pid
+        return None
+
+
+class PerfectDetector(FailureDetector):
+    """Suspects exactly the crashed processes after ``delay``."""
+
+    def __init__(self, sim: Simulator, network: Network, delay: float = 0.0) -> None:
+        self.sim = sim
+        self.network = network
+        self.delay = delay
+        self._crash_times: dict = {}
+        for process in network.processes():
+            process.add_crash_hook(
+                lambda pid=process.pid: self._crash_times.setdefault(
+                    pid, self.sim.now
+                )
+            )
+
+    def suspects(self, querying_pid: int, target_pid: int) -> bool:
+        crashed_at = self._crash_times.get(target_pid)
+        if crashed_at is None:
+            return False
+        return self.sim.now >= crashed_at + self.delay
+
+
+class EventuallyPerfectDetector(FailureDetector):
+    """Unreliable before ``stabilise_at``; perfect afterwards."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rng: random.Random,
+        stabilise_at: float,
+        false_suspicion_probability: float = 0.2,
+        delay: float = 0.0,
+    ) -> None:
+        self._perfect = PerfectDetector(sim, network, delay)
+        self.sim = sim
+        self.rng = rng
+        self.stabilise_at = stabilise_at
+        self.false_suspicion_probability = false_suspicion_probability
+
+    def suspects(self, querying_pid: int, target_pid: int) -> bool:
+        if self._perfect.suspects(querying_pid, target_pid):
+            return True
+        if self.sim.now < self.stabilise_at:
+            return self.rng.random() < self.false_suspicion_probability
+        return False

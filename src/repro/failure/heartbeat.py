@@ -1,0 +1,124 @@
+"""A real, message-based eventually-perfect failure detector.
+
+The default detectors in :mod:`repro.failure.detectors` are oracles —
+they answer suspicion queries from ground truth, which keeps protocol
+message counts clean for the Figure 1 comparisons (the paper's own
+methodology: its substrate costs come from oracle-based consensus and
+reliable broadcast).
+
+This module is the opt-in realistic alternative: every process
+periodically sends heartbeats to its group; an observer suspects a peer
+once no heartbeat arrived for ``timeout``.  With quasi-reliable links
+and bounded (simulated) delays this implements ◊P within a group:
+
+* *strong completeness* — a crashed process stops heartbeating and is
+  eventually suspected by every correct observer;
+* *eventual strong accuracy* — here delays are bounded by the latency
+  model, so a timeout above the worst intra-group delay plus the
+  heartbeat period yields no false suspicions after startup.
+
+Heartbeats run forever, so systems using this detector are **not
+quiescent** — run them with ``sim.run(until=...)`` and stop the
+detector before draining, or accept the standing traffic.  The tests
+exercise consensus and Algorithm A1 under this detector to show the
+protocols only need the abstract interface, not the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.failure.detectors import FailureDetector
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+
+
+class HeartbeatFailureDetector(FailureDetector):
+    """Group-scoped heartbeat detector for every registered process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        topology: Topology,
+        period: float = 10.0,
+        timeout: float = 35.0,
+        namespace: str = "fd",
+    ) -> None:
+        """Start heartbeating on every process of the network.
+
+        Args:
+            period: Gap between a process's heartbeats.
+            timeout: Silence after which a peer is suspected.  Must
+                exceed ``period`` plus the worst intra-group delay or
+                correct processes will be falsely suspected forever.
+        """
+        if timeout <= period:
+            raise ValueError("timeout must exceed the heartbeat period")
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.period = period
+        self.timeout = timeout
+        self.ns = namespace
+        self._running = True
+        # last_seen[observer][peer] = virtual time of last heartbeat.
+        self._last_seen: Dict[int, Dict[int, float]] = {}
+        for process in network.processes():
+            peers = topology.members(process.group_id)
+            self._last_seen[process.pid] = {
+                peer: sim.now for peer in peers if peer != process.pid
+            }
+            process.register_handler(f"{self.ns}.hb", self._make_on_hb(
+                process.pid))
+            self._schedule_beat(process.pid, initial=True)
+
+    # ------------------------------------------------------------------
+    # Heartbeat machinery
+    # ------------------------------------------------------------------
+    def _schedule_beat(self, pid: int, initial: bool = False) -> None:
+        delay = 0.0 if initial else self.period
+        self.sim.schedule(delay, lambda: self._beat(pid),
+                          label=f"{self.ns}.beat")
+
+    def _beat(self, pid: int) -> None:
+        if not self._running:
+            return
+        process = self.network.process(pid)
+        if process.crashed:
+            return  # a crashed process stops heartbeating, forever
+        peers = [p for p in self.topology.members(process.group_id)
+                 if p != pid]
+        if peers:
+            process.send_many(peers, f"{self.ns}.hb", {"from": pid})
+        self._schedule_beat(pid)
+
+    def _make_on_hb(self, observer: int):
+        def on_hb(msg: Message) -> None:
+            self._last_seen[observer][msg.payload["from"]] = self.sim.now
+
+        return on_hb
+
+    def stop(self) -> None:
+        """Cease all heartbeating (lets the simulation drain)."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # FailureDetector interface
+    # ------------------------------------------------------------------
+    def suspects(self, querying_pid: int, target_pid: int) -> bool:
+        if querying_pid == target_pid:
+            return False
+        seen = self._last_seen.get(querying_pid, {})
+        if target_pid not in seen:
+            # Outside the observer's group: heartbeats don't cover it;
+            # fall back to "not suspected" (the paper's protocols only
+            # consult detectors within consensus cohorts).
+            return False
+        return self.sim.now - seen[target_pid] > self.timeout
+
+    def last_heartbeat(self, observer: int, peer: int) -> Optional[float]:
+        """Diagnostic accessor used by tests."""
+        return self._last_seen.get(observer, {}).get(peer)

@@ -1,0 +1,97 @@
+"""Crash-stop failure injection.
+
+A :class:`CrashSchedule` maps process ids to virtual crash times.  When
+applied to a simulator it schedules the crashes; the network then stops
+accepting sends from and deliveries to the crashed process.
+
+The paper's model requires at least one correct process per group; our
+Paxos-based consensus additionally needs a majority of correct processes
+per group for liveness.  :meth:`CrashSchedule.validate` checks both so
+experiments fail fast on nonsensical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+
+
+class CrashSchedule:
+    """An immutable plan of who crashes when."""
+
+    def __init__(self, crashes: Optional[Dict[int, float]] = None) -> None:
+        self.crashes: Dict[int, float] = dict(crashes or {})
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+    def crash_time(self, pid: int) -> Optional[float]:
+        """Virtual crash time of ``pid``, or None if correct."""
+        return self.crashes.get(pid)
+
+    def is_faulty(self, pid: int) -> bool:
+        """True when ``pid`` crashes at some point in this schedule."""
+        return pid in self.crashes
+
+    def correct_processes(self, topology: Topology) -> list:
+        """Process ids that never crash."""
+        return [p for p in topology.processes if p not in self.crashes]
+
+    # ------------------------------------------------------------------
+    def validate(self, topology: Topology, require_majority: bool = True) -> None:
+        """Check the schedule against the paper's assumptions.
+
+        Raises ValueError when a group loses all members, or (when
+        ``require_majority``) when a group loses its majority — Paxos
+        inside that group would lose liveness.
+        """
+        for gid in topology.group_ids:
+            members = topology.members(gid)
+            faulty = [p for p in members if p in self.crashes]
+            correct = len(members) - len(faulty)
+            if correct < 1:
+                raise ValueError(f"group {gid} has no correct process")
+            if require_majority and correct * 2 <= len(members):
+                raise ValueError(
+                    f"group {gid} loses its majority "
+                    f"({correct}/{len(members)} correct)"
+                )
+
+    def apply(self, sim: Simulator, network) -> None:
+        """Schedule every crash on the simulator."""
+        for pid, when in sorted(self.crashes.items()):
+            process = network.process(pid)
+            sim.call_at(when, process.crash, label=f"crash:{pid}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "CrashSchedule":
+        """The failure-free schedule."""
+        return cls({})
+
+    @classmethod
+    def random_minority(
+        cls,
+        topology: Topology,
+        rng: random.Random,
+        window: float = 100.0,
+        crash_probability: float = 0.5,
+    ) -> "CrashSchedule":
+        """Crash a random strict minority of each group within ``window``.
+
+        Useful for property-based tests: the schedule always satisfies
+        :meth:`validate`, so liveness is preserved while exercising the
+        failure paths.
+        """
+        crashes: Dict[int, float] = {}
+        for gid in topology.group_ids:
+            members = topology.members(gid)
+            max_faulty = (len(members) - 1) // 2
+            candidates = [p for p in members if rng.random() < crash_probability]
+            rng.shuffle(candidates)
+            for pid in candidates[:max_faulty]:
+                crashes[pid] = rng.uniform(0.0, window)
+        return cls(crashes)

@@ -1,0 +1,13 @@
+"""Simulated wide-area network: topology, latency models, links."""
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import (
+    Distribution, Fixed, Jittered, LatencyModel, Topology, Uniform,
+)
+from repro.net.trace import MessageTrace, NetworkStats
+
+__all__ = [
+    "Message", "Network", "Distribution", "Fixed", "Jittered",
+    "LatencyModel", "Topology", "Uniform", "MessageTrace", "NetworkStats",
+]

@@ -1,0 +1,50 @@
+"""Network message envelope.
+
+A :class:`Message` is what the network hands to a destination process.
+``kind`` routes the message to the protocol layer that registered for it;
+``payload`` is an arbitrary dict owned by that protocol.
+
+``send_lamport`` carries the modified Lamport timestamp of the send event
+(paper Section 2.3), stamped by the network at send time.  The receiver's
+clock is advanced to ``max(LC, send_lamport)`` before the handler runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+@dataclass
+class Message:
+    """One point-to-point message in flight or delivered.
+
+    Attributes:
+        src: Sender process id.
+        dst: Destination process id.
+        kind: Protocol routing key, e.g. ``"paxos.accept"``.
+        payload: Protocol-defined contents.
+        inter_group: True when sender and receiver are in distinct groups.
+        send_lamport: Modified Lamport timestamp of the send event.
+        send_time: Virtual time of the send event.
+        uid: Unique per-copy identifier (diagnostics).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Dict[str, Any]
+    inter_group: bool = False
+    send_lamport: int = 0
+    send_time: float = 0.0
+    uid: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = "inter" if self.inter_group else "intra"
+        return (
+            f"Message({self.src}->{self.dst} {self.kind} {scope} "
+            f"ts={self.send_lamport} t={self.send_time:.3f})"
+        )

@@ -1,0 +1,134 @@
+"""The simulated quasi-reliable network.
+
+Implements the link semantics of paper Section 2.1:
+
+* links neither corrupt nor duplicate messages;
+* links are **quasi-reliable**: a message from a correct process to a
+  correct process is eventually delivered; messages to or from crashed
+  processes may be lost (here: messages to a crashed destination are
+  dropped, messages already in flight from a now-crashed sender are still
+  delivered, which quasi-reliability permits).
+
+The network is also the instrumentation point for the modified Lamport
+clocks (Section 2.3): it stamps every send with the sender's clock and
+advances the receiver's clock on delivery, and it feeds the
+message-complexity counters behind Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.net.message import Message
+from repro.net.topology import LatencyModel, Topology
+from repro.net.trace import MessageTrace, NetworkStats
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+# A delivery filter may veto individual copies (fault-injection in tests).
+DeliveryFilter = Callable[[Message], bool]
+
+
+class Network:
+    """Connects :class:`Process` objects through a latency model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: LatencyModel,
+        rng: random.Random,
+        trace: Optional[MessageTrace] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency
+        self.rng = rng
+        self.stats = NetworkStats()
+        self.trace = trace or MessageTrace(enabled=False)
+        self._processes: Dict[int, Process] = {}
+        self._filters: List[DeliveryFilter] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, process: Process) -> None:
+        """Attach a process to the network."""
+        if process.pid in self._processes:
+            raise ValueError(f"pid {process.pid} already registered")
+        self._processes[process.pid] = process
+        process.attach_network(self)
+
+    def process(self, pid: int) -> Process:
+        """Look up a registered process."""
+        return self._processes[pid]
+
+    def processes(self) -> List[Process]:
+        """All registered processes in pid order."""
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    def add_delivery_filter(self, flt: DeliveryFilter) -> None:
+        """Install a predicate that may drop individual message copies.
+
+        Only test fixtures use this (e.g. to model a faulty sender whose
+        reliable-multicast copies reached a strict subset of the group).
+        Filters must respect quasi-reliability if the scenario claims to.
+        """
+        self._filters.append(flt)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, kind: str, payload: dict) -> None:
+        """Send one message from ``src`` to ``dst``."""
+        self._send_copy(src, dst, kind, payload)
+
+    def send_many(
+        self, src: int, dsts: Iterable[int], kind: str, payload: dict
+    ) -> None:
+        """Send the same logical message to each destination.
+
+        Every copy is stamped from the sender's *current* clock, so a
+        one-to-many send counts as a single logical step (at most one
+        inter-group hop on any causal path), per Section 2.3.
+        """
+        for dst in dsts:
+            self._send_copy(src, dst, kind, payload)
+
+    def _send_copy(self, src: int, dst: int, kind: str, payload: dict) -> None:
+        sender = self._processes[src]
+        if sender.crashed:
+            return
+        src_gid = self.topology.group_of(src)
+        dst_gid = self.topology.group_of(dst)
+        inter = src_gid != dst_gid
+        msg = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            inter_group=inter,
+            send_lamport=sender.lamport.timestamp_send(inter),
+            send_time=self.sim.now,
+        )
+        self.stats.on_send(msg)
+        self.trace.on_send(self.sim.now, msg)
+        delay = self.latency.sample(src_gid, dst_gid, self.rng)
+        self.sim.schedule(delay, lambda m=msg: self._deliver(m), label=kind)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: Message) -> None:
+        receiver = self._processes[msg.dst]
+        if receiver.crashed:
+            self.stats.on_drop(msg)
+            return
+        for flt in self._filters:
+            if not flt(msg):
+                self.stats.on_drop(msg)
+                return
+        receiver.lamport.observe_receive(msg.send_lamport)
+        self.trace.on_deliver(self.sim.now, msg)
+        receiver.handle(msg)

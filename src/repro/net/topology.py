@@ -1,0 +1,184 @@
+"""Wide-area topology: groups of processes and link-latency models.
+
+The paper's system model (Section 2.1) partitions the processes into
+disjoint, non-empty groups.  Communication inside a group is fast;
+communication across groups is orders of magnitude slower.  This module
+captures both the membership structure (:class:`Topology`) and the
+latency distributions (:class:`LatencyModel` and friends).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+# ----------------------------------------------------------------------
+# Latency distributions
+# ----------------------------------------------------------------------
+class Distribution:
+    """A sampleable positive-valued distribution."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class Fixed(Distribution):
+    """Always returns ``value``."""
+
+    value: float
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+
+@dataclass
+class Uniform(Distribution):
+    """Uniform on ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+
+@dataclass
+class Jittered(Distribution):
+    """``base`` plus exponential jitter with mean ``jitter``.
+
+    A reasonable stand-in for WAN latency: a propagation floor plus a
+    queueing tail.
+    """
+
+    base: float
+    jitter: float
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.expovariate(1.0 / self.jitter)
+
+
+# ----------------------------------------------------------------------
+# Latency model
+# ----------------------------------------------------------------------
+class LatencyModel:
+    """Maps a (source group, destination group) pair to a latency sample."""
+
+    def __init__(
+        self,
+        intra: Distribution,
+        inter: Distribution,
+        pairwise_inter: Dict[Tuple[int, int], Distribution] = None,
+    ) -> None:
+        """Create a two-level latency model.
+
+        Args:
+            intra: Latency distribution within a group.
+            inter: Default latency distribution between distinct groups.
+            pairwise_inter: Optional per-(gid, gid) overrides, e.g. to
+                model three continents with asymmetric link latencies.
+        """
+        self.intra = intra
+        self.inter = inter
+        self.pairwise_inter = dict(pairwise_inter or {})
+
+    def sample(self, src_gid: int, dst_gid: int, rng: random.Random) -> float:
+        """Sample the one-way latency from ``src_gid`` to ``dst_gid``."""
+        if src_gid == dst_gid:
+            return self.intra.sample(rng)
+        dist = self.pairwise_inter.get((src_gid, dst_gid), self.inter)
+        return dist.sample(rng)
+
+    @classmethod
+    def wan(
+        cls,
+        intra_ms: float = 1.0,
+        inter_ms: float = 100.0,
+        intra_jitter_ms: float = 0.1,
+        inter_jitter_ms: float = 5.0,
+    ) -> "LatencyModel":
+        """The paper's canonical setting: ~1 ms LAN, ~100 ms WAN links."""
+        return cls(
+            intra=Jittered(intra_ms, intra_jitter_ms),
+            inter=Jittered(inter_ms, inter_jitter_ms),
+        )
+
+    @classmethod
+    def logical(cls) -> "LatencyModel":
+        """Unit-free model for pure latency-degree experiments.
+
+        Intra-group messages take a negligible-but-nonzero time so the
+        event order stays well defined; inter-group messages take one
+        time unit.
+        """
+        return cls(intra=Fixed(0.001), inter=Fixed(1.0))
+
+
+# ----------------------------------------------------------------------
+# Membership
+# ----------------------------------------------------------------------
+class Topology:
+    """Disjoint groups of consecutively numbered processes.
+
+    ``Topology([3, 3, 2])`` creates processes 0..7 with groups
+    ``g0 = {0,1,2}``, ``g1 = {3,4,5}``, ``g2 = {6,7}``.
+    """
+
+    def __init__(self, group_sizes: Sequence[int]) -> None:
+        if not group_sizes:
+            raise ValueError("at least one group is required")
+        if any(size <= 0 for size in group_sizes):
+            raise ValueError("groups must be non-empty")
+        self._members: List[List[int]] = []
+        self._group_of: Dict[int, int] = {}
+        pid = 0
+        for gid, size in enumerate(group_sizes):
+            members = list(range(pid, pid + size))
+            self._members.append(members)
+            for member in members:
+                self._group_of[member] = gid
+            pid += size
+        self.n_processes = pid
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of groups."""
+        return len(self._members)
+
+    @property
+    def group_ids(self) -> List[int]:
+        """All group ids, ascending."""
+        return list(range(len(self._members)))
+
+    @property
+    def processes(self) -> List[int]:
+        """All process ids, ascending."""
+        return list(range(self.n_processes))
+
+    def members(self, gid: int) -> List[int]:
+        """Process ids belonging to group ``gid``."""
+        return list(self._members[gid])
+
+    def group_of(self, pid: int) -> int:
+        """Group id of process ``pid``."""
+        return self._group_of[pid]
+
+    def same_group(self, a: int, b: int) -> bool:
+        """True when processes ``a`` and ``b`` share a group."""
+        return self._group_of[a] == self._group_of[b]
+
+    def processes_of_groups(self, gids) -> List[int]:
+        """All processes in the given groups, ascending."""
+        result: List[int] = []
+        for gid in sorted(set(gids)):
+            result.extend(self._members[gid])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(m) for m in self._members]
+        return f"Topology(groups={sizes})"

@@ -1,0 +1,114 @@
+"""Message tracing and accounting.
+
+:class:`NetworkStats` counts messages by scope (intra vs inter group) and
+by protocol kind; it is always on because Figure 1's message-complexity
+columns are regenerated from these counters.
+
+:class:`MessageTrace` optionally records every send/deliver event.  The
+genuineness checker and some unit tests use it; experiments leave it
+disabled to keep memory bounded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.net.message import Message
+
+
+class NetworkStats:
+    """Counters over every message accepted by the network."""
+
+    def __init__(self) -> None:
+        self.inter_group_messages = 0
+        self.intra_group_messages = 0
+        self.by_kind: Counter = Counter()
+        self.by_kind_inter: Counter = Counter()
+        self.dropped = 0
+
+    @property
+    def total_messages(self) -> int:
+        """All messages sent, regardless of scope."""
+        return self.inter_group_messages + self.intra_group_messages
+
+    def on_send(self, msg: Message) -> None:
+        """Account for one message copy entering the network."""
+        if msg.inter_group:
+            self.inter_group_messages += 1
+            self.by_kind_inter[msg.kind] += 1
+        else:
+            self.intra_group_messages += 1
+        self.by_kind[msg.kind] += 1
+
+    def on_drop(self, msg: Message) -> None:
+        """Account for a copy dropped (destination crashed, filter)."""
+        self.dropped += 1
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary for result tables."""
+        return {
+            "inter": self.inter_group_messages,
+            "intra": self.intra_group_messages,
+            "total": self.total_messages,
+            "dropped": self.dropped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkStats(inter={self.inter_group_messages}, "
+            f"intra={self.intra_group_messages}, dropped={self.dropped})"
+        )
+
+
+@dataclass
+class TraceEvent:
+    """One traced network event."""
+
+    event: str  # "send" or "deliver"
+    time: float
+    msg: Message
+
+
+class MessageTrace:
+    """An optional full log of network activity."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def on_send(self, time: float, msg: Message) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent("send", time, msg))
+
+    def on_deliver(self, time: float, msg: Message) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent("deliver", time, msg))
+
+    # ------------------------------------------------------------------
+    # Queries used by checkers
+    # ------------------------------------------------------------------
+    def senders(self) -> Set[int]:
+        """Processes that sent at least one message."""
+        return {e.msg.src for e in self.events if e.event == "send"}
+
+    def receivers(self) -> Set[int]:
+        """Processes that received at least one message."""
+        return {e.msg.dst for e in self.events if e.event == "deliver"}
+
+    def participants(self) -> Set[int]:
+        """Processes that sent or received at least one message."""
+        return self.senders() | self.receivers()
+
+    def sends_of_kind(self, prefix: str) -> List[TraceEvent]:
+        """Send events whose kind starts with ``prefix``."""
+        return [
+            e for e in self.events
+            if e.event == "send" and e.msg.kind.startswith(prefix)
+        ]
+
+    def last_send_time(self) -> Optional[float]:
+        """Virtual time of the last send event, or None."""
+        times = [e.time for e in self.events if e.event == "send"]
+        return max(times) if times else None

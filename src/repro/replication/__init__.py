@@ -1,0 +1,21 @@
+"""Replicated data stores over the paper's primitives.
+
+The applications the paper's introduction motivates:
+
+* :class:`ReplicatedKVStore` — partial replication via **genuine
+  atomic multicast** (each group owns a partition; operations involve
+  only the groups they touch);
+* :class:`ReplicatedLedger` — full replication via **atomic
+  broadcast** (every group holds everything; latency-optimal with
+  Algorithm A2's degree-1 rounds);
+* :class:`KVCluster` / :class:`LedgerCluster` — one-call deployments
+  wired into the experiment runtime (metering, logging, checkers).
+"""
+
+from repro.replication.cluster import KVCluster, LedgerCluster
+from repro.replication.kvstore import ReplicatedKVStore, WriteOp
+from repro.replication.ledger import ReplicatedLedger, Transfer
+from repro.replication.partition import PartitionMap
+
+__all__ = ["KVCluster", "LedgerCluster", "ReplicatedKVStore", "WriteOp",
+           "ReplicatedLedger", "Transfer", "PartitionMap"]

@@ -1,0 +1,152 @@
+"""One-call construction of replicated-store deployments.
+
+Wraps :func:`repro.runtime.builder.build_system` so that every process
+gets a store replica subscribed to its protocol endpoint's A-Deliver
+stream — while the system's latency meter, delivery log and property
+checkers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.interfaces import AppMessage, AtomicMulticast
+from repro.replication.kvstore import ReplicatedKVStore
+from repro.replication.ledger import ReplicatedLedger
+from repro.replication.partition import PartitionMap
+from repro.runtime.builder import System, build_system
+
+
+class _TappedEndpoint:
+    """Adapter presenting a System-wired endpoint to a store.
+
+    The system's builder already installed the real delivery handler
+    (log + meter); stores subscribe through a delivery tap instead, so
+    this adapter satisfies the store's ``set_delivery_handler`` call by
+    registering a tap.
+    """
+
+    def __init__(self, system: System, pid: int) -> None:
+        self._system = system
+        self._pid = pid
+        self._endpoint = system.endpoints[pid]
+        # Expose the topology for layers that want it (ledger does).
+        self.topology = system.topology
+
+    def set_delivery_handler(self, handler) -> None:
+        self._system.add_delivery_tap(self._pid, handler)
+
+    def a_mcast(self, msg: AppMessage) -> None:
+        self._meter_and_send(msg)
+
+    def a_bcast(self, msg: AppMessage) -> None:
+        self._meter_and_send(msg)
+
+    def _meter_and_send(self, msg: AppMessage) -> None:
+        process = self._system.network.process(self._pid)
+        self._system.log.record_cast(msg)
+        self._system.meter.record_cast(
+            msg.mid, process, dest_groups=msg.dest_groups,
+            now=self._system.sim.now,
+        )
+        if hasattr(self._endpoint, "a_mcast"):
+            self._endpoint.a_mcast(msg)
+        else:
+            self._endpoint.a_bcast(msg)
+
+
+class KVCluster:
+    """A partially replicated KV deployment (one store per process)."""
+
+    def __init__(self, system: System, partition_map: PartitionMap,
+                 stores: Dict[int, ReplicatedKVStore]) -> None:
+        self.system = system
+        self.partition_map = partition_map
+        self.stores = stores
+
+    @classmethod
+    def build(
+        cls,
+        group_sizes: List[int],
+        partitions: Optional[Dict[str, int]] = None,
+        protocol: str = "a1",
+        seed: int = 0,
+        **system_kwargs,
+    ) -> "KVCluster":
+        """Build a cluster over any atomic multicast protocol."""
+        system = build_system(protocol=protocol, group_sizes=group_sizes,
+                              seed=seed, **system_kwargs)
+        pmap = PartitionMap(system.topology, explicit=partitions)
+        stores = {}
+        for pid in system.topology.processes:
+            adapter = _TappedEndpoint(system, pid)
+            stores[pid] = ReplicatedKVStore(
+                system.network.process(pid), pmap, adapter)
+        return cls(system, pmap, stores)
+
+    def store(self, pid: int) -> ReplicatedKVStore:
+        """The replica hosted by process ``pid``."""
+        return self.stores[pid]
+
+    def replicas_of_group(self, gid: int) -> List[ReplicatedKVStore]:
+        """All replicas of group ``gid``'s partition."""
+        return [self.stores[p] for p in self.system.topology.members(gid)]
+
+    def assert_convergence(self) -> None:
+        """Every group's correct replicas must hold identical state."""
+        for gid in self.system.topology.group_ids:
+            states = {}
+            for pid in self.system.topology.members(gid):
+                if self.system.network.process(pid).crashed:
+                    continue
+                states[pid] = repr(sorted(
+                    self.stores[pid].owned_snapshot().items()))
+            if len(set(states.values())) > 1:
+                raise AssertionError(
+                    f"group {gid} replicas diverged: {states}"
+                )
+
+
+class LedgerCluster:
+    """A fully replicated ledger deployment over atomic broadcast."""
+
+    def __init__(self, system: System,
+                 ledgers: Dict[int, ReplicatedLedger]) -> None:
+        self.system = system
+        self.ledgers = ledgers
+
+    @classmethod
+    def build(
+        cls,
+        group_sizes: List[int],
+        initial_balances: Dict[str, int],
+        protocol: str = "a2",
+        seed: int = 0,
+        **system_kwargs,
+    ) -> "LedgerCluster":
+        """Build a ledger cluster over any atomic broadcast protocol."""
+        system = build_system(protocol=protocol, group_sizes=group_sizes,
+                              seed=seed, **system_kwargs)
+        ledgers = {}
+        for pid in system.topology.processes:
+            adapter = _TappedEndpoint(system, pid)
+            ledgers[pid] = ReplicatedLedger(
+                system.network.process(pid), adapter,
+                initial_balances=initial_balances,
+            )
+        return cls(system, ledgers)
+
+    def ledger(self, pid: int) -> ReplicatedLedger:
+        """The replica hosted by process ``pid``."""
+        return self.ledgers[pid]
+
+    def assert_convergence(self) -> None:
+        """All correct replicas must agree on balances and tx order."""
+        snapshots = {}
+        for pid, ledger in self.ledgers.items():
+            if self.system.network.process(pid).crashed:
+                continue
+            balances, order = ledger.snapshot()
+            snapshots[pid] = (tuple(sorted(balances.items())), order)
+        if len(set(snapshots.values())) > 1:
+            raise AssertionError(f"ledger replicas diverged: {snapshots}")

@@ -1,0 +1,111 @@
+"""A fully replicated ledger over atomic broadcast.
+
+The complementary application to the partial-replication store: here
+*every* group holds the complete state (accounts and balances), so the
+natural primitive is atomic broadcast — and Algorithm A2's latency
+degree of 1 makes full replication the latency-optimal configuration,
+exactly the "if latency is the main concern" branch of the paper's
+introduction.
+
+State-machine replication in its plainest form: a transfer is A-BCast;
+each replica applies transfers in delivery order, deterministically
+rejecting those with insufficient funds.  Uniform prefix order makes
+every replica's accept/reject verdicts — and therefore balances —
+identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interfaces import AppMessage, AtomicBroadcast
+from repro.sim.process import Process
+
+_TX_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A funds transfer between two accounts."""
+
+    tx_id: str
+    src: str
+    dst: str
+    amount: int
+
+    def to_payload(self) -> tuple:
+        return (self.tx_id, self.src, self.dst, self.amount)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "Transfer":
+        return cls(*payload)
+
+
+class ReplicatedLedger:
+    """One process's replica of the fully replicated ledger."""
+
+    def __init__(self, process: Process, broadcast: AtomicBroadcast,
+                 initial_balances: Optional[Dict[str, int]] = None) -> None:
+        """Wrap a broadcast endpoint into a ledger replica.
+
+        All replicas must be constructed with the same
+        ``initial_balances`` (it is the deterministic initial state).
+        """
+        self.process = process
+        self.broadcast = broadcast
+        self.balances: Dict[str, int] = dict(initial_balances or {})
+        self.committed: List[str] = []   # accepted tx ids, in order
+        self.rejected: List[str] = []    # deterministically rejected
+        broadcast.set_delivery_handler(self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def transfer(self, src: str, dst: str, amount: int) -> str:
+        """Submit a transfer; returns its transaction id.
+
+        The verdict (committed/rejected) is only known once the
+        transfer is delivered — its position in the total order decides
+        whether funds suffice.
+        """
+        if amount <= 0:
+            raise ValueError("transfer amount must be positive")
+        tx = Transfer(tx_id=f"tx{next(_TX_IDS):06d}", src=src, dst=dst,
+                      amount=amount)
+        msg = AppMessage.fresh(
+            sender=self.process.pid,
+            dest_groups=(),  # filled by a_bcast path: all groups
+            payload=tx.to_payload(), mid=tx.tx_id,
+        )
+        # Broadcast endpoints require the full destination set.
+        topo = getattr(self.broadcast, "topology", None)
+        if topo is not None:
+            msg = AppMessage(mid=tx.tx_id, sender=self.process.pid,
+                             dest_groups=tuple(topo.group_ids),
+                             payload=tx.to_payload())
+        self.broadcast.a_bcast(msg)
+        return tx.tx_id
+
+    def balance(self, account: str) -> int:
+        """Current locally applied balance."""
+        return self.balances.get(account, 0)
+
+    def snapshot(self) -> Tuple[Dict[str, int], Tuple[str, ...]]:
+        """(balances, committed-tx order) — for convergence checks."""
+        return dict(self.balances), tuple(self.committed)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def _on_deliver(self, msg: AppMessage) -> None:
+        tx = Transfer.from_payload(msg.payload)
+        if self.balances.get(tx.src, 0) >= tx.amount:
+            self.balances[tx.src] = self.balances.get(tx.src, 0) - tx.amount
+            self.balances[tx.dst] = self.balances.get(tx.dst, 0) + tx.amount
+            self.committed.append(tx.tx_id)
+        else:
+            # Deterministic rejection: every replica sees the same
+            # prefix, so every replica rejects the same transfers.
+            self.rejected.append(tx.tx_id)

@@ -1,0 +1,47 @@
+"""Key partitioning for the partial-replication layer.
+
+The paper motivates genuine atomic multicast with partial replication:
+each group replicates a subset of the application's data, and an
+operation should involve only the groups that store the keys it
+touches.  :class:`PartitionMap` is that key → group assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.net.topology import Topology
+
+
+class PartitionMap:
+    """Maps application keys to the group that replicates them."""
+
+    def __init__(self, topology: Topology,
+                 explicit: Optional[Dict[str, int]] = None) -> None:
+        """Create a map over ``topology``'s groups.
+
+        Args:
+            explicit: Fixed key → group assignments (e.g. one partition
+                per table).  Keys not listed fall back to hashing.
+        """
+        self.topology = topology
+        self.explicit = dict(explicit or {})
+        for key, gid in self.explicit.items():
+            if gid not in topology.group_ids:
+                raise ValueError(f"key {key!r} mapped to unknown group {gid}")
+
+    def group_of(self, key: str) -> int:
+        """The group replicating ``key``."""
+        if key in self.explicit:
+            return self.explicit[key]
+        digest = hashlib.sha256(key.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % self.topology.n_groups
+
+    def groups_of(self, keys: Iterable[str]) -> Tuple[int, ...]:
+        """The destination-group set of an operation touching ``keys``."""
+        return tuple(sorted({self.group_of(k) for k in keys}))
+
+    def is_replica(self, pid: int, key: str) -> bool:
+        """Does process ``pid`` hold a replica of ``key``?"""
+        return self.topology.group_of(pid) == self.group_of(key)

@@ -1,0 +1,5 @@
+"""Reliable multicast primitives (paper §2.2)."""
+
+from repro.rmcast.reliable import ReliableMulticast, UniformReliableMulticast
+
+__all__ = ["ReliableMulticast", "UniformReliableMulticast"]

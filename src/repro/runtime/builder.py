@@ -1,0 +1,359 @@
+"""One-call construction of a complete simulated system.
+
+:func:`build_system` assembles kernel, topology, network, failure
+detector, crash schedule and one protocol endpoint per process, fully
+wired to a :class:`~repro.clocks.latency.LatencyMeter` and a
+:class:`~repro.runtime.results.DeliveryLog`.  Every experiment, test and
+example in the repository goes through it.
+
+Protocol registry
+-----------------
+========== =====================================================
+name        protocol
+========== =====================================================
+a1          Algorithm A1 (genuine atomic multicast, this paper)
+a1-noskip   A1 with stage skipping disabled (ablation)
+a2          Algorithm A2 (atomic broadcast, this paper)
+nongenuine  multicast over A2 broadcast (introduction's tradeoff)
+skeen       decentralised Skeen (failure-free baseline, [2])
+fritzke     Fritzke et al. [5] (four stages, uniform rmcast)
+ring        Delporte-Gallet & Fauconnier [4] (group ring)
+global      Rodrigues et al. [10] (consensus across groups)
+sequencer   Vicente & Rodrigues [13] (sequencer-based broadcast)
+optimistic  Sousa et al. [12] (optimistic total order, non-uniform)
+detmerge    Aguilera & Strom [1] (deterministic merge)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.clocks.latency import LatencyMeter
+from repro.core.interfaces import AppMessage
+from repro.failure.detectors import (
+    EventuallyPerfectDetector,
+    FailureDetector,
+    PerfectDetector,
+)
+from repro.failure.schedule import CrashSchedule
+from repro.net.network import Network
+from repro.net.topology import LatencyModel, Topology
+from repro.net.trace import MessageTrace
+from repro.runtime.results import DeliveryLog
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class System:
+    """A fully wired simulated deployment of one protocol."""
+
+    def __init__(
+        self,
+        protocol_name: str,
+        sim: Simulator,
+        topology: Topology,
+        network: Network,
+        detector: FailureDetector,
+        rng: RngRegistry,
+        crashes: CrashSchedule,
+    ) -> None:
+        self.protocol_name = protocol_name
+        self.sim = sim
+        self.topology = topology
+        self.network = network
+        self.detector = detector
+        self.rng = rng
+        self.crashes = crashes
+        self.meter = LatencyMeter()
+        self.log = DeliveryLog()
+        self.endpoints: Dict[int, object] = {}
+        self._delivery_taps: Dict[int, List[Callable]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring helpers (used by build_system)
+    # ------------------------------------------------------------------
+    def install_endpoint(self, pid: int, endpoint: object) -> None:
+        """Attach a protocol endpoint and wire its delivery callback."""
+        self.endpoints[pid] = endpoint
+        process = self.network.process(pid)
+
+        def on_deliver(msg: AppMessage, pid=pid, process=process) -> None:
+            self.log.record_delivery(pid, msg)
+            self.meter.record_delivery(msg.mid, process, now=self.sim.now)
+            for tap in self._delivery_taps.get(pid, ()):
+                tap(msg)
+
+        endpoint.set_delivery_handler(on_deliver)
+
+    def add_delivery_tap(self, pid: int, tap: Callable) -> None:
+        """Subscribe an application layer (e.g. a replicated store) to
+        ``pid``'s A-Deliver stream, after metering and logging."""
+        self._delivery_taps.setdefault(pid, []).append(tap)
+
+    # ------------------------------------------------------------------
+    # Casting
+    # ------------------------------------------------------------------
+    def cast(
+        self,
+        sender: int,
+        dest_groups=None,
+        payload=None,
+        mid: Optional[str] = None,
+    ) -> AppMessage:
+        """A-XCast a message from ``sender`` and meter it.
+
+        ``dest_groups`` defaults to all groups (broadcast).  Broadcast
+        protocols require the full destination set.
+        """
+        if dest_groups is None:
+            dest_groups = tuple(self.topology.group_ids)
+        msg = AppMessage.fresh(sender=sender, dest_groups=dest_groups,
+                               payload=payload, mid=mid)
+        endpoint = self.endpoints[sender]
+        process = self.network.process(sender)
+        self.log.record_cast(msg)
+        self.meter.record_cast(msg.mid, process, dest_groups=msg.dest_groups,
+                               now=self.sim.now)
+        if hasattr(endpoint, "a_mcast"):
+            endpoint.a_mcast(msg)
+        else:
+            if set(msg.dest_groups) != set(self.topology.group_ids):
+                raise ValueError(
+                    f"{self.protocol_name} is a broadcast protocol; "
+                    f"messages must address all groups"
+                )
+            endpoint.a_bcast(msg)
+        return msg
+
+    def cast_at(self, time: float, sender: int, dest_groups=None,
+                payload=None, mid: Optional[str] = None) -> AppMessage:
+        """Schedule a cast at virtual ``time``; returns the message.
+
+        The latency meter records the cast when the event fires, so the
+        caster's Lamport clock is read at the true cast instant.
+        """
+        msg = AppMessage.fresh(sender=sender,
+                               dest_groups=tuple(dest_groups)
+                               if dest_groups is not None
+                               else tuple(self.topology.group_ids),
+                               payload=payload, mid=mid)
+
+        def do_cast() -> None:
+            endpoint = self.endpoints[sender]
+            process = self.network.process(sender)
+            self.log.record_cast(msg)
+            self.meter.record_cast(msg.mid, process,
+                                   dest_groups=msg.dest_groups,
+                                   now=self.sim.now)
+            if hasattr(endpoint, "a_mcast"):
+                endpoint.a_mcast(msg)
+            else:
+                endpoint.a_bcast(msg)
+
+        self.sim.call_at(time, do_cast, label=f"cast:{msg.mid}")
+        return msg
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the simulation (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_quiescent(self, max_events: int = 10_000_000) -> float:
+        """Run until the event queue drains (quiescence required)."""
+        return self.sim.run_until_quiescent(max_events=max_events)
+
+    def start_rounds(self) -> None:
+        """Warm up proactive protocols (A2 and wrappers) on every node."""
+        for endpoint in self.endpoints.values():
+            if hasattr(endpoint, "start_rounds"):
+                endpoint.start_rounds()
+
+    # ------------------------------------------------------------------
+    # Result shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def inter_group_messages(self) -> int:
+        """Inter-group message count so far (Figure 1's second column)."""
+        return self.network.stats.inter_group_messages
+
+    @property
+    def intra_group_messages(self) -> int:
+        """Intra-group message count so far."""
+        return self.network.stats.intra_group_messages
+
+    def degrees(self) -> Dict[str, Optional[int]]:
+        """Latency degree of every metered message."""
+        return self.meter.degrees()
+
+
+# ----------------------------------------------------------------------
+# Protocol factories
+# ----------------------------------------------------------------------
+def _make_a1(system: System, process: Process, **kw) -> object:
+    from repro.core.amcast import AtomicMulticastA1
+
+    return AtomicMulticastA1(process, system.topology, system.detector, **kw)
+
+
+def _make_a1_noskip(system: System, process: Process, **kw) -> object:
+    from repro.core.amcast import AtomicMulticastA1
+
+    return AtomicMulticastA1(process, system.topology, system.detector,
+                             enable_stage_skipping=False, **kw)
+
+
+def _pop_predictor(kw: dict):
+    """Instantiate a per-process predictor from ``predictor_factory``.
+
+    Predictors are stateful, so sharing one instance across endpoints
+    would be wrong; callers pass a zero-argument factory instead.
+    """
+    factory = kw.pop("predictor_factory", None)
+    return factory() if factory is not None else None
+
+
+def _make_a2(system: System, process: Process, **kw) -> object:
+    from repro.core.abcast import AtomicBroadcastA2
+
+    predictor = _pop_predictor(kw)
+    return AtomicBroadcastA2(process, system.topology, system.detector,
+                             predictor=predictor, **kw)
+
+
+def _make_nongenuine(system: System, process: Process, **kw) -> object:
+    from repro.core.abcast import AtomicBroadcastA2
+    from repro.core.nongenuine import NonGenuineMulticast
+
+    predictor = _pop_predictor(kw)
+    abcast = AtomicBroadcastA2(process, system.topology, system.detector,
+                               predictor=predictor, **kw)
+    return NonGenuineMulticast(abcast)
+
+
+def _make_skeen(system: System, process: Process, **kw) -> object:
+    from repro.baselines.skeen import SkeenMulticast
+
+    return SkeenMulticast(process, system.topology, **kw)
+
+
+def _make_fritzke(system: System, process: Process, **kw) -> object:
+    from repro.baselines.fritzke import FritzkeMulticast
+
+    return FritzkeMulticast(process, system.topology, system.detector, **kw)
+
+
+def _make_ring(system: System, process: Process, **kw) -> object:
+    from repro.baselines.ring import RingMulticast
+
+    return RingMulticast(process, system.topology, system.detector, **kw)
+
+
+def _make_global(system: System, process: Process, **kw) -> object:
+    from repro.baselines.global_consensus import GlobalConsensusMulticast
+
+    return GlobalConsensusMulticast(process, system.topology,
+                                    system.detector, **kw)
+
+
+def _make_sequencer(system: System, process: Process, **kw) -> object:
+    from repro.baselines.sequencer import SequencerBroadcast
+
+    return SequencerBroadcast(process, system.topology, system.detector, **kw)
+
+
+def _make_optimistic(system: System, process: Process, **kw) -> object:
+    from repro.baselines.optimistic import OptimisticBroadcast
+
+    return OptimisticBroadcast(process, system.topology, **kw)
+
+
+def _make_detmerge(system: System, process: Process, **kw) -> object:
+    from repro.baselines.detmerge import DeterministicMergeBroadcast
+
+    return DeterministicMergeBroadcast(process, system.topology, **kw)
+
+
+PROTOCOLS: Dict[str, Callable] = {
+    "a1": _make_a1,
+    "a1-noskip": _make_a1_noskip,
+    "a2": _make_a2,
+    "nongenuine": _make_nongenuine,
+    "skeen": _make_skeen,
+    "fritzke": _make_fritzke,
+    "ring": _make_ring,
+    "global": _make_global,
+    "sequencer": _make_sequencer,
+    "optimistic": _make_optimistic,
+    "detmerge": _make_detmerge,
+}
+
+
+def build_system(
+    protocol: str = "a1",
+    group_sizes: List[int] = (3, 3),
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    crashes: Optional[CrashSchedule] = None,
+    detector: str = "perfect",
+    detector_delay: float = 5.0,
+    stabilise_at: float = 0.0,
+    trace: bool = False,
+    **protocol_kwargs,
+) -> System:
+    """Assemble a ready-to-run :class:`System`.
+
+    Args:
+        protocol: A key of :data:`PROTOCOLS`.
+        group_sizes: Processes per group, e.g. ``[3, 3, 3]``.
+        latency: Link latency model; defaults to
+            :meth:`LatencyModel.logical` (1 unit inter-group, ~0
+            intra-group) which reads latency degrees directly off the
+            virtual clock.
+        seed: Root seed for every random stream.
+        crashes: Crash schedule; validated against the topology.
+        detector: ``"perfect"`` or ``"eventually-perfect"``.
+        detector_delay: Crash-detection delay of the detector.
+        stabilise_at: For the eventually-perfect detector, the virtual
+            time after which it stops making mistakes.
+        trace: Enable the full message trace (genuineness checks).
+        **protocol_kwargs: Forwarded to the protocol constructor.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; pick one of {sorted(PROTOCOLS)}"
+        )
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    topology = Topology(list(group_sizes))
+    latency = latency or LatencyModel.logical()
+    network = Network(sim, topology, latency, rng.stream("net"),
+                      trace=MessageTrace(enabled=trace))
+    for pid in topology.processes:
+        network.register(Process(pid, topology.group_of(pid), sim))
+
+    crashes = crashes or CrashSchedule.none()
+    crashes.validate(topology)
+    crashes.apply(sim, network)
+
+    if detector == "perfect":
+        fd: FailureDetector = PerfectDetector(sim, network,
+                                              delay=detector_delay)
+    elif detector == "eventually-perfect":
+        fd = EventuallyPerfectDetector(
+            sim, network, rng.stream("fd"), stabilise_at=stabilise_at,
+            delay=detector_delay,
+        )
+    else:
+        raise ValueError(f"unknown detector {detector!r}")
+
+    system = System(protocol, sim, topology, network, fd, rng, crashes)
+    factory = PROTOCOLS[protocol]
+    for pid in topology.processes:
+        endpoint = factory(system, network.process(pid), **protocol_kwargs)
+        system.install_endpoint(pid, endpoint)
+    return system

@@ -1,0 +1,165 @@
+"""Post-run analysis: latency percentiles, degree histograms, traffic.
+
+:class:`RunReport` condenses a finished :class:`System` run into the
+numbers a systems paper would report — latency percentiles per
+destination-set size, a latency-degree histogram, per-kind message
+breakdowns — and renders them as text.  The experiment harnesses use
+the underlying accessors; examples and the CLI print the full report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.results import Row, format_table
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of one latency population."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            raise ValueError("no values to summarise")
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 0.50),
+            p90=percentile(values, 0.90),
+            p99=percentile(values, 0.99),
+            max=max(values),
+        )
+
+
+class RunReport:
+    """Derived statistics over a finished system run."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self._records = [r for r in system.meter.records()
+                         if r.latency_degree is not None]
+
+    # ------------------------------------------------------------------
+    # Degree statistics
+    # ------------------------------------------------------------------
+    def degree_histogram(self) -> Dict[int, int]:
+        """Latency degree -> message count."""
+        hist: Dict[int, int] = {}
+        for rec in self._records:
+            hist[rec.latency_degree] = hist.get(rec.latency_degree, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def degree_by_destination_count(self) -> Dict[int, Dict[int, int]]:
+        """|dest| -> (degree -> count); the paper's k-dependence."""
+        out: Dict[int, Dict[int, int]] = {}
+        for rec in self._records:
+            k = len(rec.dest_groups)
+            out.setdefault(k, {})
+            out[k][rec.latency_degree] = out[k].get(rec.latency_degree,
+                                                    0) + 1
+        return {k: dict(sorted(v.items())) for k, v in sorted(out.items())}
+
+    # ------------------------------------------------------------------
+    # Wall-latency statistics
+    # ------------------------------------------------------------------
+    def latency_summary(self, worst_replica: bool = True
+                        ) -> Optional[LatencySummary]:
+        """Percentiles of delivery latency across all messages."""
+        values = []
+        for rec in self._records:
+            value = (rec.worst_delivery_latency if worst_replica
+                     else rec.mean_delivery_latency)
+            if value is not None:
+                values.append(value)
+        return LatencySummary.of(values) if values else None
+
+    def latency_by_destination_count(self) -> Dict[int, LatencySummary]:
+        """|dest| -> worst-replica latency percentiles."""
+        buckets: Dict[int, List[float]] = {}
+        for rec in self._records:
+            if rec.worst_delivery_latency is not None:
+                buckets.setdefault(len(rec.dest_groups), []).append(
+                    rec.worst_delivery_latency)
+        return {k: LatencySummary.of(v)
+                for k, v in sorted(buckets.items())}
+
+    # ------------------------------------------------------------------
+    # Traffic statistics
+    # ------------------------------------------------------------------
+    def traffic_by_kind(self, top: int = 10) -> List[Tuple[str, int, int]]:
+        """(kind, total copies, inter-group copies), heaviest first."""
+        stats = self.system.network.stats
+        rows = [(kind, count, stats.by_kind_inter.get(kind, 0))
+                for kind, count in stats.by_kind.most_common(top)]
+        return rows
+
+    def messages_per_cast(self) -> Optional[float]:
+        """Total network copies amortised per application message."""
+        casts = len(self.system.log.cast_messages())
+        if casts == 0:
+            return None
+        return self.system.network.stats.total_messages / casts
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full human-readable report."""
+        sections = [f"Run report — protocol={self.system.protocol_name}, "
+                    f"topology={self.system.topology!r}, "
+                    f"virtual end time={self.system.sim.now:.1f}"]
+
+        hist = self.degree_histogram()
+        if hist:
+            sections.append(format_table(
+                "Latency degree histogram",
+                ["degree", "messages"],
+                [Row(str(deg), [count]) for deg, count in hist.items()],
+            ))
+
+        by_k = self.latency_by_destination_count()
+        if by_k:
+            sections.append(format_table(
+                "Worst-replica delivery latency by destination count",
+                ["|dest|", "msgs", "mean", "p50", "p90", "p99", "max"],
+                [Row(str(k), [s.count, round(s.mean, 1), round(s.p50, 1),
+                              round(s.p90, 1), round(s.p99, 1),
+                              round(s.max, 1)])
+                 for k, s in by_k.items()],
+            ))
+
+        traffic = self.traffic_by_kind()
+        if traffic:
+            sections.append(format_table(
+                "Heaviest message kinds",
+                ["kind", "copies", "inter-group"],
+                [Row(kind, [total, inter])
+                 for kind, total, inter in traffic],
+            ))
+
+        per_cast = self.messages_per_cast()
+        if per_cast is not None:
+            sections.append(
+                f"Network copies per application message: {per_cast:.1f}"
+            )
+        return "\n\n".join(sections)

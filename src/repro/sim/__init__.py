@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Event", "EventQueue", "SimulationError", "Simulator", "Process",
+    "RngRegistry",
+]

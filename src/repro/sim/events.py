@@ -1,0 +1,79 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel executes :class:`Event` objects in nondecreasing timestamp
+order.  Ties are broken by a monotonically increasing sequence number so
+that runs are fully deterministic: two events scheduled for the same
+virtual time always execute in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        seq: Scheduling sequence number; breaks timestamp ties.
+        action: Zero-argument callable executed when the event fires.
+        label: Human-readable tag used by traces and debugging output.
+        cancelled: When True the kernel skips the event.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel will skip it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at virtual time ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+
+def ordered_pair(a: Any, b: Any) -> Tuple[Any, Any]:
+    """Return ``(min(a, b), max(a, b))`` — handy for symmetric link keys."""
+    return (a, b) if a <= b else (b, a)

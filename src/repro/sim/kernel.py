@@ -1,0 +1,164 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  All other
+subsystems (network, protocols, workloads, failure schedules) interact
+with the kernel exclusively through :meth:`Simulator.schedule` /
+:meth:`Simulator.call_at`, which keeps the whole run deterministic for a
+given seed.
+
+The kernel deliberately knows nothing about processes, messages, or
+protocols — those live in :mod:`repro.sim.process` and :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic virtual-time event loop.
+
+    Attributes:
+        now: Current virtual time (read-only for clients).
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._events_executed = 0
+        self._stop_requested = False
+        self._idle_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (diagnostics/benchmarks)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, action, label)
+
+    def call_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, already at {self._now!r}"
+            )
+        return self._queue.push(time, action, label)
+
+    def add_idle_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback invoked when the queue drains.
+
+        Idle hooks let components (e.g. workload generators with lazy
+        arrivals) inject more events when the simulation would otherwise
+        terminate.  A hook that schedules nothing leaves the simulation
+        idle and :meth:`run` returns.
+        """
+        self._idle_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue yielded an event in the past")
+        self._now = event.time
+        self._events_executed += 1
+        event.action()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        Args:
+            until: Stop once the next event would fire after this time.
+                The clock is advanced to ``until`` in that case.
+            max_events: Safety valve for runaway protocols.
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    # Queue drained: give idle hooks one chance to refill.
+                    before = len(self._queue)
+                    for hook in self._idle_hooks:
+                        hook()
+                    if len(self._queue) == before:
+                        break
+                    continue
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_quiescent(
+        self, max_events: int = 10_000_000, until: Optional[float] = None
+    ) -> float:
+        """Run until no events remain.  Raises if ``max_events`` trips.
+
+        Used by quiescence checks: a quiescent protocol must drain the
+        queue after a finite workload.
+        """
+        end = self.run(until=until, max_events=max_events)
+        if self.pending_events > 0 and until is None:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return end

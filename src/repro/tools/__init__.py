@@ -1,0 +1,9 @@
+"""Debugging and inspection tools (timelines, hop diagrams)."""
+
+from repro.tools.timeline import (
+    lane_summary,
+    render_hop_diagram,
+    render_timeline,
+)
+
+__all__ = ["lane_summary", "render_hop_diagram", "render_timeline"]

@@ -1,0 +1,196 @@
+"""Workload generators: who casts what, where, and when.
+
+A workload is a deterministic (seeded) list of :class:`CastPlan` items —
+(time, sender, destination groups, payload) — that the experiment
+runtime schedules onto a built system.  Separating plan generation from
+execution keeps runs reproducible and lets the same plan drive different
+protocols in a comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class CastPlan:
+    """One planned A-XCast."""
+
+    time: float
+    sender: int
+    dest_groups: Tuple[int, ...]
+    payload: object = None
+
+
+# A destination chooser maps (rng, topology, sender) to a group tuple.
+DestinationChooser = Callable[[random.Random, Topology, int], Tuple[int, ...]]
+
+
+# ----------------------------------------------------------------------
+# Destination distributions
+# ----------------------------------------------------------------------
+def all_groups(rng: random.Random, topology: Topology,
+               sender: int) -> Tuple[int, ...]:
+    """Broadcast: every group (the only choice for A2 et al.)."""
+    return tuple(topology.group_ids)
+
+
+def fixed_groups(groups: Sequence[int]) -> DestinationChooser:
+    """Always the given groups."""
+    dest = tuple(sorted(set(groups)))
+
+    def choose(rng, topology, sender):
+        return dest
+
+    return choose
+
+
+def uniform_k_groups(k: int, include_sender_group: bool = True
+                     ) -> DestinationChooser:
+    """A uniformly random set of ``k`` groups per message.
+
+    With ``include_sender_group`` the caster's own group is always one
+    of the k (the typical partial-replication pattern: update your own
+    partition plus k-1 remote ones).
+    """
+
+    def choose(rng: random.Random, topology: Topology,
+               sender: int) -> Tuple[int, ...]:
+        gids = list(topology.group_ids)
+        if k > len(gids):
+            raise ValueError(f"k={k} exceeds group count {len(gids)}")
+        if include_sender_group:
+            own = topology.group_of(sender)
+            others = [g for g in gids if g != own]
+            picked = rng.sample(others, k - 1) + [own]
+        else:
+            picked = rng.sample(gids, k)
+        return tuple(sorted(picked))
+
+    return choose
+
+
+def zipf_group_count(max_k: int, skew: float = 1.5,
+                     include_sender_group: bool = True
+                     ) -> DestinationChooser:
+    """Mostly-local traffic: the destination count follows a Zipf law.
+
+    Most messages go to 1 group, a few to 2, rarely to ``max_k`` —
+    the access pattern the paper's partial-replication motivation
+    assumes.
+    """
+    weights = [1.0 / (i ** skew) for i in range(1, max_k + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def choose(rng: random.Random, topology: Topology,
+               sender: int) -> Tuple[int, ...]:
+        u = rng.random()
+        k = next(i + 1 for i, c in enumerate(cumulative) if u <= c)
+        return uniform_k_groups(k, include_sender_group)(rng, topology, sender)
+
+    return choose
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+def poisson_workload(
+    topology: Topology,
+    rng: random.Random,
+    rate: float,
+    duration: float,
+    destinations: Optional[DestinationChooser] = None,
+    senders: Optional[Sequence[int]] = None,
+    start: float = 0.0,
+) -> List[CastPlan]:
+    """Poisson arrivals at ``rate`` messages per time unit.
+
+    Senders are drawn uniformly from ``senders`` (default: everyone).
+    """
+    destinations = destinations or all_groups
+    senders = list(senders) if senders is not None else topology.processes
+    plans: List[CastPlan] = []
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= start + duration:
+            break
+        sender = rng.choice(senders)
+        plans.append(CastPlan(
+            time=t, sender=sender,
+            dest_groups=destinations(rng, topology, sender),
+            payload=len(plans),
+        ))
+    return plans
+
+
+def periodic_workload(
+    topology: Topology,
+    period: float,
+    count: int,
+    destinations: Optional[DestinationChooser] = None,
+    senders: Optional[Sequence[int]] = None,
+    start: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> List[CastPlan]:
+    """``count`` casts spaced exactly ``period`` apart, round-robin
+    over ``senders``."""
+    destinations = destinations or all_groups
+    senders = list(senders) if senders is not None else topology.processes
+    rng = rng or random.Random(0)
+    plans: List[CastPlan] = []
+    for i in range(count):
+        sender = senders[i % len(senders)]
+        plans.append(CastPlan(
+            time=start + i * period, sender=sender,
+            dest_groups=destinations(rng, topology, sender),
+            payload=i,
+        ))
+    return plans
+
+
+def burst_workload(
+    topology: Topology,
+    rng: random.Random,
+    bursts: int,
+    burst_size: int,
+    gap: float,
+    destinations: Optional[DestinationChooser] = None,
+    senders: Optional[Sequence[int]] = None,
+    spread: float = 0.5,
+    start: float = 0.0,
+) -> List[CastPlan]:
+    """Bursty traffic: ``bursts`` clumps of ``burst_size`` casts,
+    separated by idle ``gap`` — the adversarial pattern for quiescence
+    prediction (paper Section 5.3)."""
+    destinations = destinations or all_groups
+    senders = list(senders) if senders is not None else topology.processes
+    plans: List[CastPlan] = []
+    for b in range(bursts):
+        base = start + b * gap
+        for i in range(burst_size):
+            sender = rng.choice(senders)
+            plans.append(CastPlan(
+                time=base + rng.uniform(0.0, spread), sender=sender,
+                dest_groups=destinations(rng, topology, sender),
+                payload=(b, i),
+            ))
+    return sorted(plans, key=lambda p: p.time)
+
+
+def schedule_workload(system, plans: List[CastPlan]) -> List:
+    """Schedule every planned cast on a built system; returns messages."""
+    return [
+        system.cast_at(plan.time, plan.sender, plan.dest_groups,
+                       payload=plan.payload)
+        for plan in plans
+    ]

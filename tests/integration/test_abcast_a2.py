@@ -1,0 +1,184 @@
+"""Integration tests for Algorithm A2 (atomic broadcast, degree 1)."""
+
+import pytest
+
+from repro.checkers.properties import check_all
+from repro.checkers.quiescence import check_quiescence
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import LatencyModel
+from repro.runtime.builder import build_system
+from repro.workload.generators import poisson_workload, schedule_workload
+
+
+class TestBasicDelivery:
+    def test_cold_broadcast_delivers_everywhere(self):
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1)
+        m = s.cast(sender=0)
+        s.run_quiescent()
+        for pid in range(6):
+            assert s.log.sequence(pid) == [m.mid]
+
+    def test_cold_broadcast_degree_two(self):
+        """Theorem 5.2: a broadcast into a quiescent system pays 2."""
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1)
+        m = s.cast(sender=0)
+        s.run_quiescent()
+        assert s.meter.latency_degree(m.mid) == 2
+
+    def test_warm_broadcast_degree_one(self):
+        """Theorem 5.1: a broadcast riding an active round pays 1."""
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1,
+                         propose_delay=0.05)
+        s.start_rounds()
+        m = s.cast_at(0.01, 0)
+        s.run_quiescent()
+        assert s.meter.latency_degree(m.mid) == 1
+
+    def test_warm_broadcast_from_each_group(self):
+        s = build_system(protocol="a2", group_sizes=[3, 3, 3], seed=1,
+                         propose_delay=0.05)
+        s.start_rounds()
+        a = s.cast_at(0.01, 0)
+        b = s.cast_at(0.01, 3)
+        c = s.cast_at(0.01, 6)
+        s.run_quiescent()
+        for m in (a, b, c):
+            assert s.meter.latency_degree(m.mid) == 1
+        check_all(s.log, s.topology)
+
+    def test_multicast_destinations_rejected(self):
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1)
+        with pytest.raises(ValueError):
+            s.cast(sender=0, dest_groups=(0,))
+
+    def test_properties_hold_failure_free(self):
+        s = build_system(protocol="a2", group_sizes=[3, 3, 3], seed=5)
+        for i, sender in enumerate([0, 3, 6, 1, 4]):
+            s.cast_at(0.5 * i, sender)
+        s.run_quiescent()
+        check_all(s.log, s.topology)
+
+
+class TestQuiescence:
+    def test_system_quiesces_after_finite_workload(self):
+        """Proposition A.9: finite casts => processes go silent."""
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1,
+                         trace=True)
+        for i in range(3):
+            s.cast_at(float(i), 0)
+        report = check_quiescence(s.sim, s.network.trace)
+        assert report.quiescent
+        assert report.last_send_at is not None
+
+    def test_restart_after_quiescence(self):
+        """Prediction mistakes are tolerated: a late broadcast still
+        delivers (paper Section 5.2, Barrier restart)."""
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1)
+        a = s.cast(sender=0)
+        b = s.cast_at(100.0, 3)  # long after the system went quiet
+        s.run_quiescent()
+        check_all(s.log, s.topology)
+        assert s.meter.latency_degree(b.mid) == 2
+
+    def test_empty_trailing_round_then_stop(self):
+        """After a useful round the algorithm runs exactly one more
+        (empty) round, then stops (lines 21-23)."""
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1)
+        s.cast(sender=0)
+        s.run_quiescent()
+        endpoint = s.endpoints[0]
+        assert endpoint.useful_rounds == 1
+        assert endpoint.rounds_executed == endpoint.useful_rounds + 1
+
+    def test_sustained_traffic_keeps_rounds_useful(self):
+        """Section 5.3: broadcasts faster than a round keep every round
+        useful and the algorithm never reactive."""
+        s = build_system(
+            protocol="a2", group_sizes=[2, 2], seed=3,
+            latency=LatencyModel.wan(inter_ms=100.0),
+            propose_delay=5.0,
+        )
+        plans = poisson_workload(
+            s.topology, s.rng.stream("wl"), rate=0.05, duration=2000.0,
+        )  # 50 msg/s in ms units... 0.05/ms = 50/s with 100 ms rounds
+        messages = schedule_workload(s, plans)
+        s.run_quiescent()
+        check_all(s.log, s.topology)
+        endpoint = s.endpoints[0]
+        useful_fraction = endpoint.useful_rounds / endpoint.rounds_executed
+        assert useful_fraction > 0.8
+
+
+class TestFaultTolerance:
+    def test_caster_crash_after_cast(self):
+        crashes = CrashSchedule({0: 0.5})
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=1,
+                         crashes=crashes)
+        m = s.cast(sender=0)
+        s.run_quiescent()
+        check_all(s.log, s.topology, crashes)
+        for pid in (1, 2, 3, 4, 5):
+            assert m.mid in s.log.sequence(pid)
+
+    def test_minority_crashes(self):
+        crashes = CrashSchedule({1: 1.0, 4: 2.0})
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=2,
+                         crashes=crashes)
+        for i in range(4):
+            s.cast_at(float(i), (0, 3)[i % 2])
+        s.run_quiescent()
+        check_all(s.log, s.topology, crashes)
+
+    def test_consensus_leader_crash(self):
+        crashes = CrashSchedule({0: 0.8, 3: 1.2})
+        s = build_system(protocol="a2", group_sizes=[3, 3], seed=8,
+                         crashes=crashes)
+        s.cast(sender=1)
+        s.cast_at(2.0, 4)
+        s.run_quiescent()
+        check_all(s.log, s.topology, crashes)
+
+    def test_wan_with_crashes_and_traffic(self):
+        crashes = CrashSchedule({2: 150.0, 8: 250.0})
+        s = build_system(
+            protocol="a2", group_sizes=[3, 3, 3], seed=21,
+            latency=LatencyModel.wan(), crashes=crashes,
+            propose_delay=5.0,
+        )
+        plans = poisson_workload(
+            s.topology, s.rng.stream("wl"), rate=0.01, duration=600.0,
+        )
+        schedule_workload(s, plans)
+        s.run_quiescent()
+        check_all(s.log, s.topology, crashes)
+
+
+class TestNonGenuineWrapper:
+    def test_multicast_over_broadcast_filters(self):
+        s = build_system(protocol="nongenuine", group_sizes=[2, 2, 2],
+                         seed=1)
+        m = s.cast(sender=0, dest_groups=(0, 1))
+        s.run_quiescent()
+        for pid in (0, 1, 2, 3):
+            assert s.log.sequence(pid) == [m.mid]
+        for pid in (4, 5):
+            assert s.log.sequence(pid) == []
+
+    def test_warm_nongenuine_beats_genuine_latency(self):
+        """The introduction's tradeoff: degree 1 vs A1's 2 — paid for
+        with system-wide message complexity."""
+        s = build_system(protocol="nongenuine", group_sizes=[2, 2, 2],
+                         seed=1, propose_delay=0.05)
+        s.start_rounds()
+        m = s.cast_at(0.01, 0, (0, 1))
+        s.run_quiescent()
+        assert s.meter.latency_degree(m.mid) == 1
+
+    def test_properties_hold(self):
+        s = build_system(protocol="nongenuine", group_sizes=[2, 2, 2],
+                         seed=6)
+        s.cast(sender=0, dest_groups=(0, 1))
+        s.cast(sender=2, dest_groups=(1, 2))
+        s.cast_at(1.0, 4, (0, 2))
+        s.run_quiescent()
+        check_all(s.log, s.topology)

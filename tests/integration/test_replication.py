@@ -1,0 +1,192 @@
+"""Integration tests for the replicated stores (KV + ledger)."""
+
+import pytest
+
+from repro.checkers.properties import check_all
+from repro.failure.schedule import CrashSchedule
+from repro.replication import KVCluster, LedgerCluster, PartitionMap
+from repro.net.topology import Topology
+
+
+class TestPartitionMap:
+    def test_explicit_mapping(self):
+        topo = Topology([2, 2])
+        pmap = PartitionMap(topo, explicit={"users": 0, "orders": 1})
+        assert pmap.group_of("users") == 0
+        assert pmap.group_of("orders") == 1
+
+    def test_hash_fallback_stable_and_in_range(self):
+        topo = Topology([2, 2, 2])
+        pmap = PartitionMap(topo)
+        for key in ("a", "b", "c", "some:key"):
+            gid = pmap.group_of(key)
+            assert gid == pmap.group_of(key)
+            assert gid in topo.group_ids
+
+    def test_groups_of_multiple_keys(self):
+        topo = Topology([2, 2])
+        pmap = PartitionMap(topo, explicit={"x": 0, "y": 1, "z": 1})
+        assert pmap.groups_of(["x", "y", "z"]) == (0, 1)
+        assert pmap.groups_of(["y", "z"]) == (1,)
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMap(Topology([2]), explicit={"x": 5})
+
+    def test_is_replica(self):
+        topo = Topology([2, 2])
+        pmap = PartitionMap(topo, explicit={"x": 1})
+        assert pmap.is_replica(2, "x")
+        assert not pmap.is_replica(0, "x")
+
+
+class TestKVStore:
+    def _cluster(self, protocol="a1", seed=1):
+        return KVCluster.build(
+            [2, 2, 2],
+            partitions={"users": 0, "orders": 1, "stock": 2},
+            protocol=protocol, seed=seed,
+        )
+
+    def test_single_partition_write_and_read(self):
+        cluster = self._cluster()
+        cluster.store(0).put("users", {"alice": 1})
+        cluster.system.run_quiescent()
+        assert cluster.store(1).get("users") == {"alice": 1}
+        cluster.assert_convergence()
+
+    def test_cross_partition_write_atomic(self):
+        cluster = self._cluster()
+        cluster.store(2).put_many({"orders": ["o1"], "stock": 9})
+        cluster.system.run_quiescent()
+        assert cluster.store(3).get("orders") == ["o1"]
+        assert cluster.store(4).get("stock") == 9
+        cluster.assert_convergence()
+
+    def test_reads_outside_partition_rejected(self):
+        cluster = self._cluster()
+        with pytest.raises(KeyError):
+            cluster.store(0).get("orders")
+
+    def test_conflicting_writes_order_identically(self):
+        cluster = self._cluster()
+        a = cluster.store(2).put_many({"orders": "A", "stock": "A"})
+        b = cluster.store(4).put_many({"orders": "B", "stock": "B"})
+        cluster.system.run_quiescent()
+        # Replicas of both partitions applied a and b in one order.
+        orders = {
+            pid: tuple(op for op in cluster.store(pid).applied
+                       if op in (a, b))
+            for pid in (2, 3, 4, 5)
+        }
+        assert len(set(orders.values())) == 1
+        # Final value identical on every replica of each partition.
+        assert cluster.store(2).get("orders") == cluster.store(3).get("orders")
+        cluster.assert_convergence()
+
+    def test_completion_callback_fires(self):
+        cluster = self._cluster()
+        done = []
+        cluster.store(0).put("users", 1, on_applied=done.append)
+        cluster.system.run_quiescent()
+        assert len(done) == 1
+
+    def test_callback_requires_local_replica(self):
+        cluster = self._cluster()
+        with pytest.raises(ValueError):
+            cluster.store(0).put("orders", 1, on_applied=lambda op: None)
+
+    def test_runs_on_alternative_protocols(self):
+        """The store is protocol-agnostic: same app code, same results."""
+        results = {}
+        for protocol in ("a1", "skeen", "fritzke"):
+            cluster = self._cluster(protocol=protocol, seed=3)
+            cluster.store(0).put("users", "u")
+            cluster.store(2).put_many({"orders": "o", "stock": "s"})
+            cluster.system.run_quiescent()
+            cluster.assert_convergence()
+            results[protocol] = (
+                cluster.store(1).get("users"),
+                cluster.store(3).get("orders"),
+                cluster.store(5).get("stock"),
+            )
+        assert len(set(results.values())) == 1
+
+    def test_survives_minority_crashes(self):
+        cluster = KVCluster.build(
+            [3, 3], partitions={"x": 0, "y": 1}, protocol="a1", seed=5,
+            crashes=CrashSchedule({0: 1.0, 4: 2.0}),
+        )
+        cluster.store(1).put_many({"x": 1, "y": 2})
+        cluster.system.run_quiescent()
+        cluster.assert_convergence()
+        assert cluster.store(2).get("x") == 1
+        assert cluster.store(5).get("y") == 2
+
+    def test_metering_still_works_through_the_store(self):
+        cluster = self._cluster()
+        op = cluster.store(0).put_many({"users": 1, "orders": 2})
+        cluster.system.run_quiescent()
+        assert cluster.system.meter.latency_degree(op) == 2
+        check_all(cluster.system.log, cluster.system.topology)
+
+
+class TestLedger:
+    def _cluster(self, seed=1, **kwargs):
+        return LedgerCluster.build(
+            [2, 2], initial_balances={"a": 100, "b": 50},
+            protocol="a2", seed=seed, **kwargs,
+        )
+
+    def test_transfer_applies_everywhere(self):
+        cluster = self._cluster()
+        cluster.ledger(0).transfer("a", "b", 40)
+        cluster.system.run_quiescent()
+        for pid in range(4):
+            assert cluster.ledger(pid).balance("a") == 60
+            assert cluster.ledger(pid).balance("b") == 90
+        cluster.assert_convergence()
+
+    def test_double_spend_resolved_identically(self):
+        cluster = self._cluster()
+        cluster.ledger(0).transfer("a", "b", 80)
+        cluster.ledger(2).transfer("a", "b", 80)
+        cluster.system.run_quiescent()
+        cluster.assert_convergence()
+        any_ledger = cluster.ledger(1)
+        assert len(any_ledger.committed) == 1
+        assert len(any_ledger.rejected) == 1
+        assert any_ledger.balance("a") == 20
+
+    def test_invalid_amount_rejected_locally(self):
+        cluster = self._cluster()
+        with pytest.raises(ValueError):
+            cluster.ledger(0).transfer("a", "b", 0)
+
+    def test_conservation_of_funds(self):
+        cluster = self._cluster(seed=4)
+        for i, (src, dst, amt) in enumerate(
+                [("a", "b", 10), ("b", "a", 5), ("a", "b", 200),
+                 ("b", "a", 60)]):
+            pid = (0, 2, 1, 3)[i]
+            cluster.system.sim.call_at(
+                float(i), lambda p=pid, s=src, d=dst, a=amt:
+                    cluster.ledger(p).transfer(s, d, a))
+        cluster.system.run_quiescent()
+        cluster.assert_convergence()
+        total = (cluster.ledger(0).balance("a")
+                 + cluster.ledger(0).balance("b"))
+        assert total == 150  # initial sum, conserved
+
+    def test_survives_minority_crashes(self):
+        cluster = LedgerCluster.build(
+            [3, 3], initial_balances={"a": 100},
+            protocol="a2", seed=9,
+            crashes=CrashSchedule({2: 0.5, 5: 1.5}),
+        )
+        cluster.ledger(0).transfer("a", "b", 10)
+        cluster.system.sim.call_at(
+            5.0, lambda: cluster.ledger(3).transfer("a", "b", 20))
+        cluster.system.run_quiescent()
+        cluster.assert_convergence()
+        assert cluster.ledger(1).balance("b") == 30

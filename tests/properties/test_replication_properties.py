@@ -1,0 +1,135 @@
+"""Property-based tests of the replication layer.
+
+Random operation sequences against the partially replicated store and
+the fully replicated ledger; the invariants are convergence (all
+replicas of a partition end identical), conservation (ledger funds are
+neither created nor destroyed) and determinism (same seed, same final
+state).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.replication import KVCluster, LedgerCluster
+
+FAST = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+KEYS = ["alpha", "beta", "gamma", "delta"]
+PARTITIONS = {"alpha": 0, "beta": 0, "gamma": 1, "delta": 1}
+
+
+@st.composite
+def kv_ops(draw, max_ops=8):
+    """A list of (time, store pid, {key: value}) write batches."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for _ in range(count):
+        time = draw(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False))
+        pid = draw(st.integers(min_value=0, max_value=3))
+        keys = draw(st.sets(st.sampled_from(KEYS), min_size=1, max_size=3))
+        writes = {k: draw(st.integers(min_value=0, max_value=99))
+                  for k in keys}
+        ops.append((time, pid, writes))
+    return ops
+
+
+class TestKVStoreProperties:
+    @FAST
+    @given(st.integers(min_value=0, max_value=5_000), kv_ops())
+    def test_replicas_always_converge(self, seed, ops):
+        cluster = KVCluster.build([2, 2], partitions=PARTITIONS,
+                                  protocol="a1", seed=seed)
+        for time, pid, writes in ops:
+            cluster.system.sim.call_at(
+                time, lambda p=pid, w=writes:
+                    cluster.store(p).put_many(dict(w)))
+        cluster.system.run_quiescent(max_events=2_000_000)
+        cluster.assert_convergence()
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=5_000), kv_ops())
+    def test_applied_journals_prefix_consistent(self, seed, ops):
+        """Replicas of one group apply ops in exactly one order."""
+        cluster = KVCluster.build([2, 2], partitions=PARTITIONS,
+                                  protocol="a1", seed=seed)
+        for time, pid, writes in ops:
+            cluster.system.sim.call_at(
+                time, lambda p=pid, w=writes:
+                    cluster.store(p).put_many(dict(w)))
+        cluster.system.run_quiescent(max_events=2_000_000)
+        for gid in (0, 1):
+            journals = {
+                tuple(cluster.store(p).applied)
+                for p in cluster.system.topology.members(gid)
+            }
+            assert len(journals) == 1
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=2_000), kv_ops(max_ops=5))
+    def test_same_seed_same_state(self, seed, ops):
+        def run():
+            cluster = KVCluster.build([2, 2], partitions=PARTITIONS,
+                                      protocol="a1", seed=seed)
+            for i, (time, pid, writes) in enumerate(ops):
+                cluster.system.sim.call_at(
+                    time, lambda p=pid, w=writes:
+                        cluster.store(p).put_many(dict(w)))
+            cluster.system.run_quiescent(max_events=2_000_000)
+            return (repr(sorted(cluster.store(0).owned_snapshot().items())),
+                    repr(sorted(cluster.store(2).owned_snapshot().items())))
+
+        assert run() == run()
+
+
+@st.composite
+def transfers(draw, max_ops=8):
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    accounts = ["a", "b", "c"]
+    for _ in range(count):
+        time = draw(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False))
+        pid = draw(st.integers(min_value=0, max_value=3))
+        src = draw(st.sampled_from(accounts))
+        dst = draw(st.sampled_from([x for x in accounts if x != src]))
+        amount = draw(st.integers(min_value=1, max_value=150))
+        ops.append((time, pid, src, dst, amount))
+    return ops
+
+
+class TestLedgerProperties:
+    INITIAL = {"a": 100, "b": 100, "c": 100}
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=5_000), transfers())
+    def test_funds_conserved_and_never_negative(self, seed, ops):
+        cluster = LedgerCluster.build([2, 2], dict(self.INITIAL),
+                                      protocol="a2", seed=seed)
+        for time, pid, src, dst, amount in ops:
+            cluster.system.sim.call_at(
+                time, lambda p=pid, s=src, d=dst, a=amount:
+                    cluster.ledgers[p].transfer(s, d, a))
+        cluster.system.run_quiescent(max_events=2_000_000)
+        cluster.assert_convergence()
+        ledger = cluster.ledger(0)
+        balances = {acc: ledger.balance(acc) for acc in self.INITIAL}
+        assert sum(balances.values()) == sum(self.INITIAL.values())
+        assert all(v >= 0 for v in balances.values())
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=5_000), transfers())
+    def test_verdicts_identical_everywhere(self, seed, ops):
+        cluster = LedgerCluster.build([2, 2], dict(self.INITIAL),
+                                      protocol="a2", seed=seed)
+        for time, pid, src, dst, amount in ops:
+            cluster.system.sim.call_at(
+                time, lambda p=pid, s=src, d=dst, a=amount:
+                    cluster.ledgers[p].transfer(s, d, a))
+        cluster.system.run_quiescent(max_events=2_000_000)
+        verdicts = {
+            (tuple(l.committed), tuple(l.rejected))
+            for l in cluster.ledgers.values()
+        }
+        assert len(verdicts) == 1

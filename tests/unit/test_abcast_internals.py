@@ -1,0 +1,146 @@
+"""White-box tests of Algorithm A2's round machinery."""
+
+import pytest
+
+from repro.net.topology import Fixed, LatencyModel
+from repro.runtime.builder import build_system
+
+
+def _slow_wan():
+    return LatencyModel(intra=Fixed(0.01), inter=Fixed(10.0))
+
+
+class TestRoundProgression:
+    def test_round_counter_advances_per_completed_round(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        system.cast(sender=0)
+        system.run_quiescent()
+        endpoint = system.endpoints[0]
+        # Round 1 (useful) + round 2 (empty) completed: K is now 3.
+        assert endpoint.k == 3
+        assert endpoint.rounds_executed == 2
+
+    def test_rounds_lock_step_across_groups(self):
+        system = build_system(protocol="a2", group_sizes=[3, 3], seed=2)
+        for i in range(3):
+            system.cast_at(float(i), i % 6)
+        system.run_quiescent()
+        ks = {system.endpoints[p].k for p in range(6)}
+        assert len(ks) == 1  # every process finished the same round
+
+    def test_bundle_for_future_round_is_buffered(self):
+        """Lines 8-10: a bundle for round x > K parks in Msgs and
+        pushes Barrier so the round eventually runs."""
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1,
+                              latency=_slow_wan())
+        system.cast(sender=0)
+        probe = system.endpoints[2]  # group 1 observer
+
+        barrier_seen = []
+
+        def watch():
+            barrier_seen.append(probe.barrier)
+            if system.sim.pending_events:
+                system.sim.schedule(1.0, watch)
+
+        system.sim.schedule(0.5, watch)
+        system.run_quiescent()
+        # Group 1 was idle (Barrier 0) until group 0's round-1 bundle
+        # arrived and lifted the barrier to 1.
+        assert 0 in barrier_seen and max(barrier_seen) >= 1
+
+    def test_empty_bundles_are_proposed_when_barrier_demands(self):
+        """Line 12 may propose the empty set."""
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        system.cast(sender=0)  # only group 0 has traffic
+        system.run_quiescent()
+        # Group 1 delivered group 0's message yet never R-Delivered
+        # anything itself: its bundles were empty sets.
+        endpoint = system.endpoints[2]
+        assert endpoint.rdelivered == {}
+        assert len(endpoint.adelivered) == 1
+
+
+class TestBarrierLogic:
+    def test_barrier_static_without_deliveries(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        system.start_rounds()  # Barrier 1, round 1 runs empty
+        system.run_quiescent()
+        endpoint = system.endpoints[0]
+        assert endpoint.barrier == 1
+        assert endpoint.rounds_executed == 1  # exactly one empty round
+
+    def test_useful_round_extends_barrier(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        system.cast(sender=0)
+        system.run_quiescent()
+        endpoint = system.endpoints[0]
+        # Round 1 delivered -> Barrier moved to 2; round 2 was empty.
+        assert endpoint.barrier == 2
+
+    def test_restart_lifts_remote_barriers(self):
+        """Line 10 is the restart path for prediction mistakes."""
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        system.cast(sender=0)
+        system.cast_at(50.0, 0)  # after quiescence
+        system.run_quiescent()
+        remote = system.endpoints[2]
+        assert remote.barrier >= 3
+        assert len(remote.adelivered) == 2
+
+
+class TestBundleHygiene:
+    def test_completed_round_state_garbage_collected(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1)
+        for i in range(4):
+            system.cast_at(float(i), 0)
+        system.run_quiescent()
+        endpoint = system.endpoints[0]
+        assert endpoint.msgs == {}       # no bundle leaks
+        assert endpoint.rdelivered == {} # everything moved to delivered
+
+    def test_duplicate_bundles_ignored(self):
+        """Several senders per group send the same bundle; the first
+        copy wins and the rest are redundant by consensus agreement."""
+        system = build_system(protocol="a2", group_sizes=[3, 3], seed=3)
+        msg = system.cast(sender=0)
+        system.run_quiescent()
+        for pid in range(6):
+            assert system.log.sequence(pid) == [msg.mid]
+
+    def test_no_message_rides_two_rounds(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=4)
+        for i in range(5):
+            system.cast_at(i * 0.3, i % 4)
+        system.run_quiescent()
+        for pid in range(4):
+            seq = system.log.sequence(pid)
+            assert len(seq) == len(set(seq)) == 5
+
+
+class TestProposeDelayWindow:
+    def test_delayed_proposal_rereads_backlog(self):
+        """A cast landing inside the bundling window joins the round."""
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1,
+                              propose_delay=1.0)
+        early = system.cast_at(0.0, 0)
+        late = system.cast_at(0.5, 1)  # lands inside p0's window
+        system.run_quiescent()
+        # Both messages must share round 1 (delivered consecutively
+        # with no empty round between).
+        endpoint = system.endpoints[0]
+        assert endpoint.useful_rounds == 1
+        assert set(system.log.sequence(0)) == {early.mid, late.mid}
+
+    def test_zero_delay_is_immediate(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1,
+                              propose_delay=0.0)
+        system.cast(sender=0)
+        system.run_quiescent()
+        assert system.endpoints[0].useful_rounds == 1
+
+    def test_window_does_not_break_quiescence(self):
+        system = build_system(protocol="a2", group_sizes=[2, 2], seed=1,
+                              propose_delay=5.0)
+        system.cast(sender=0)
+        system.run_quiescent(max_events=500_000)  # must drain

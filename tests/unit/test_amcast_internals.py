@@ -1,0 +1,196 @@
+"""White-box tests of Algorithm A1's stage machine.
+
+These reach into the endpoint state (PENDING stages, group clock K,
+timestamp proposals) to pin the pseudocode line by line — complementary
+to the black-box integration suite.
+"""
+
+import pytest
+
+from repro.core.interfaces import (
+    STAGE_S0,
+    STAGE_S1,
+    STAGE_S2,
+    STAGE_S3,
+    AppMessage,
+)
+from repro.net.topology import Fixed, LatencyModel
+from repro.runtime.builder import build_system
+
+
+def _asymmetric_latency():
+    """Make group 1 slow so stage transitions are observable mid-run."""
+    return LatencyModel(intra=Fixed(0.01), inter=Fixed(10.0))
+
+
+class TestStageTransitions:
+    def test_message_enters_pending_at_s0(self):
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=1,
+                              latency=_asymmetric_latency())
+        msg = system.cast(sender=0, dest_groups=(0, 1))
+        # Before any consensus decision: R-Deliver put it at stage s0.
+        system.run(until=0.02)
+        endpoint = system.endpoints[0]
+        assert endpoint.pending[msg.mid].stage == STAGE_S0
+
+    def test_multi_group_message_reaches_s1_after_consensus(self):
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=1,
+                              latency=_asymmetric_latency())
+        msg = system.cast(sender=0, dest_groups=(0, 1))
+        system.run(until=1.0)  # group 0 decided; TS still in flight
+        endpoint = system.endpoints[0]
+        assert endpoint.pending[msg.mid].stage == STAGE_S1
+
+    def test_single_group_message_jumps_to_s3(self):
+        """Lines 28-29: second consensus not needed."""
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=1,
+                              latency=_asymmetric_latency())
+        msg = system.cast(sender=0, dest_groups=(0,))
+        system.run(until=1.0)
+        endpoint = system.endpoints[0]
+        # Already delivered — which means it passed through s3.
+        assert msg.mid in endpoint.adelivered
+
+    def test_noskip_single_group_message_visits_s2(self):
+        system = build_system(protocol="a1-noskip", group_sizes=[2, 2],
+                              seed=1, latency=_asymmetric_latency())
+        msg = system.cast(sender=0, dest_groups=(0,))
+        seen_stages = set()
+        endpoint = system.endpoints[0]
+
+        def watch():
+            entry = endpoint.pending.get(msg.mid)
+            if entry is not None:
+                seen_stages.add(entry.stage)
+            if msg.mid not in endpoint.adelivered:
+                system.sim.schedule(0.005, watch)
+
+        system.sim.schedule(0.005, watch)
+        system.run_quiescent()
+        assert STAGE_S2 in seen_stages
+        assert msg.mid in endpoint.adelivered
+
+    def test_group_clock_jumps_past_decided_timestamps(self):
+        """Line 31: K <- max(max ts, K) + 1."""
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=1)
+        system.cast(sender=0, dest_groups=(0, 1))
+        system.run_quiescent()
+        for pid in range(4):
+            assert system.endpoints[pid].k >= 2
+
+    def test_group_clocks_agree_within_group(self):
+        """Lemma A.1: members' K sequences are prefix-related; at
+        quiescence they are equal."""
+        system = build_system(protocol="a1", group_sizes=[3, 3], seed=2)
+        for i in range(5):
+            system.cast(sender=i % 6, dest_groups=(0, 1))
+        system.run_quiescent()
+        for gid in (0, 1):
+            ks = {system.endpoints[p].k
+                  for p in system.topology.members(gid)}
+            assert len(ks) == 1
+
+
+class TestTimestampExchange:
+    def test_ts_proposals_buffered_before_stage_s1(self):
+        """A TS message may arrive before the local consensus decided
+        (the guard of line 33 must not lose it)."""
+        # Group 1 is made slow at consensus by crashing nobody but
+        # letting group 0's TS arrive instantly relative to group 1's
+        # intra steps: use inter latency below intra latency.
+        system = build_system(
+            protocol="a1", group_sizes=[2, 2], seed=1,
+            latency=LatencyModel(intra=Fixed(5.0), inter=Fixed(0.1)),
+        )
+        msg = system.cast(sender=0, dest_groups=(0, 1))
+        system.run_quiescent()
+        # Despite the inverted timing, everything delivered consistently.
+        for pid in range(4):
+            assert system.log.sequence(pid) == [msg.mid]
+
+    def test_final_timestamp_is_max_of_proposals(self):
+        """Stage s1 -> s3/s2 picks the maximum group proposal."""
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=3)
+        # Pre-load group 1's clock with local traffic so its proposal
+        # for the probe message is higher than group 0's.
+        for _ in range(4):
+            system.cast(sender=2, dest_groups=(1,))
+        probe = system.cast_at(0.5, 0, (0, 1))
+        system.run_quiescent()
+        rec = system.meter.record_for(probe.mid)
+        assert rec.latency_degree == 2
+        # All processes delivered it (same final timestamp everywhere —
+        # otherwise prefix order would have tripped in other tests).
+        assert len(rec.delivery_lamport) == 4
+
+    def test_ts_message_introduces_unknown_message(self):
+        """Footnote 4: a (TS, m) from another group must create the
+        pending entry if the R-MCast copy is still missing."""
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=1,
+                              trace=True)
+        # Drop the caster's direct copies into group 1; the TS message
+        # from group 0 is then group 1's only way to learn about m.
+        system.network.add_delivery_filter(
+            lambda m: not (m.kind == "amc.rmc.data" and m.src == 0
+                           and m.dst >= 2))
+        # The lazy rmcast relay would also recover m eventually; crash
+        # the caster so the relay logic (suspicion-driven) kicks in too,
+        # but the TS path is faster.
+        msg = system.cast(sender=0, dest_groups=(0, 1))
+        system.sim.call_at(0.5, system.network.process(0).crash)
+        system.run_quiescent()
+        for pid in (1, 2, 3):
+            assert system.log.sequence(pid) == [msg.mid]
+
+
+class TestDeliveryRule:
+    def test_smaller_timestamp_blocks_larger(self):
+        """Line 4: a pending message with a smaller (ts, id) gates
+        delivery even if a later message reached s3 first."""
+        system = build_system(
+            protocol="a1", group_sizes=[2, 2, 2], seed=4,
+            latency=LatencyModel(intra=Fixed(0.01), inter=Fixed(10.0)),
+        )
+        slow = system.cast(sender=0, dest_groups=(0, 2))   # 10ms hops
+        fast = system.cast(sender=0, dest_groups=(0,))     # local
+        system.run_quiescent()
+        seq = system.log.sequence(0)
+        assert set(seq) == {slow.mid, fast.mid}
+        # Whatever the order, both groups see consistent projections —
+        # and the sequencing respected (ts, id), checked indirectly by
+        # the prefix checker used across the suite.
+
+    def test_tie_broken_by_message_id(self):
+        """(ts, id) ordering: equal timestamps fall back to ids.
+
+        Ties cannot be provoked from the public API with a single
+        proposer, so this drives the delivery test directly: two s3
+        entries with the same timestamp must come out in id order.
+        """
+        from repro.core.amcast import _Pending
+
+        system = build_system(protocol="a1", group_sizes=[1], seed=5)
+        endpoint = system.endpoints[0]
+        za = AppMessage(mid="zz-later", sender=0, dest_groups=(0,))
+        aa = AppMessage(mid="aa-early", sender=0, dest_groups=(0,))
+        system.log.record_cast(za)
+        system.log.record_cast(aa)
+        endpoint.pending["zz-later"] = _Pending(msg=za, ts=7,
+                                                stage=STAGE_S3)
+        endpoint.pending["aa-early"] = _Pending(msg=aa, ts=7,
+                                                stage=STAGE_S3)
+        endpoint._adelivery_test()
+        seq = system.log.sequence(0)
+        assert seq == ["aa-early", "zz-later"]
+
+    def test_adelivered_set_prevents_reprocessing(self):
+        system = build_system(protocol="a1", group_sizes=[2, 2], seed=6)
+        msg = system.cast(sender=0, dest_groups=(0, 1))
+        system.run_quiescent()
+        endpoint = system.endpoints[0]
+        assert msg.mid in endpoint.adelivered
+        assert msg.mid not in endpoint.pending
+        # Replaying the R-Deliver does nothing.
+        endpoint._ensure_pending(
+            AppMessage(mid=msg.mid, sender=0, dest_groups=(0, 1)))
+        assert msg.mid not in endpoint.pending

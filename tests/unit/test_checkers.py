@@ -1,0 +1,205 @@
+"""Unit tests for the property checkers (they must catch violations)."""
+
+import pytest
+
+from repro.checkers.genuineness import (
+    GenuinenessViolation,
+    allowed_participants,
+    check_genuineness,
+)
+from repro.checkers.properties import (
+    PropertyViolation,
+    check_all,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_uniform_prefix_order,
+    check_validity,
+)
+from repro.checkers.quiescence import QuiescenceViolation, check_quiescence
+from repro.core.interfaces import AppMessage
+from repro.failure.schedule import CrashSchedule
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.net.trace import MessageTrace
+from repro.runtime.results import DeliveryLog
+from repro.sim.kernel import Simulator
+
+
+def _msg(mid, sender=0, dest=(0, 1)):
+    return AppMessage(mid=mid, sender=sender, dest_groups=dest)
+
+
+def _log_with(casts, deliveries):
+    """Build a DeliveryLog from {mid: msg} and {pid: [mid, ...]}."""
+    log = DeliveryLog()
+    for msg in casts.values():
+        log.record_cast(msg)
+    for pid, mids in deliveries.items():
+        for mid in mids:
+            log.record_delivery(pid, casts[mid])
+    return log
+
+
+TOPO = Topology([2, 2])
+
+
+class TestUniformIntegrity:
+    def test_clean_run_passes(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"], 2: ["a"]})
+        check_uniform_integrity(log, TOPO)
+
+    def test_duplicate_delivery_caught(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a", "a"]})
+        with pytest.raises(PropertyViolation, match="more than once"):
+            check_uniform_integrity(log, TOPO)
+
+    def test_phantom_message_caught(self):
+        casts = {"a": _msg("a")}
+        log = DeliveryLog()
+        log.record_cast(casts["a"])
+        log.record_delivery(0, _msg("ghost"))
+        with pytest.raises(PropertyViolation, match="never cast"):
+            check_uniform_integrity(log, TOPO)
+
+    def test_non_addressee_delivery_caught(self):
+        casts = {"a": _msg("a", dest=(0,))}
+        log = _log_with(casts, {2: ["a"]})  # pid 2 is in group 1
+        with pytest.raises(PropertyViolation, match="addressed to"):
+            check_uniform_integrity(log, TOPO)
+
+
+class TestValidity:
+    def test_correct_caster_all_deliver_passes(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"], 1: ["a"], 2: ["a"], 3: ["a"]})
+        check_validity(log, TOPO, CrashSchedule.none())
+
+    def test_missing_correct_addressee_caught(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"], 1: ["a"], 2: ["a"]})
+        with pytest.raises(PropertyViolation, match="never delivered"):
+            check_validity(log, TOPO, CrashSchedule.none())
+
+    def test_faulty_caster_excused(self):
+        """Validity only binds correct casters."""
+        casts = {"a": _msg("a", sender=0)}
+        log = _log_with(casts, {})  # nobody delivered
+        check_validity(log, TOPO, CrashSchedule({0: 1.0}))
+
+    def test_faulty_addressee_excused(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"], 1: ["a"], 2: ["a"]})
+        check_validity(log, TOPO, CrashSchedule({3: 1.0}))
+
+
+class TestUniformAgreement:
+    def test_no_delivery_at_all_is_fine(self):
+        """Agreement binds only once someone delivers."""
+        casts = {"a": _msg("a", sender=0)}
+        log = _log_with(casts, {})
+        check_uniform_agreement(log, TOPO, CrashSchedule({0: 1.0}))
+
+    def test_partial_delivery_caught(self):
+        """Even a faulty process's delivery obligates everyone."""
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"]})
+        with pytest.raises(PropertyViolation):
+            check_uniform_agreement(log, TOPO, CrashSchedule.none())
+
+
+class TestUniformPrefixOrder:
+    def test_identical_orders_pass(self):
+        casts = {"a": _msg("a"), "b": _msg("b")}
+        log = _log_with(casts, {0: ["a", "b"], 2: ["a", "b"]})
+        check_uniform_prefix_order(log, TOPO)
+
+    def test_true_prefix_passes(self):
+        casts = {"a": _msg("a"), "b": _msg("b")}
+        log = _log_with(casts, {0: ["a", "b"], 2: ["a"]})
+        check_uniform_prefix_order(log, TOPO)
+
+    def test_divergent_orders_caught(self):
+        casts = {"a": _msg("a"), "b": _msg("b")}
+        log = _log_with(casts, {0: ["a", "b"], 2: ["b", "a"]})
+        with pytest.raises(PropertyViolation, match="prefix order"):
+            check_uniform_prefix_order(log, TOPO)
+
+    def test_projection_ignores_disjoint_messages(self):
+        """Messages not addressed to both processes don't constrain."""
+        casts = {
+            "a": _msg("a", dest=(0,)),
+            "b": _msg("b", dest=(1,)),
+            "c": _msg("c", dest=(0, 1)),
+        }
+        # p0 delivers a then c; p2 delivers b then c — projected on the
+        # pair, both sequences are just [c].
+        log = _log_with(casts, {0: ["a", "c"], 2: ["b", "c"]})
+        check_uniform_prefix_order(log, TOPO)
+
+    def test_check_all_runs_every_property(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {0: ["a"], 1: ["a"], 2: ["a"], 3: ["a"]})
+        check_all(log, TOPO)
+
+
+class TestGenuineness:
+    def _trace_with_participants(self, pairs):
+        trace = MessageTrace(enabled=True)
+        for src, dst in pairs:
+            msg = Message(src=src, dst=dst, kind="x", payload={})
+            trace.on_send(0.0, msg)
+            trace.on_deliver(0.0, msg)
+        return trace
+
+    def test_allowed_participants(self):
+        casts = {"a": _msg("a", sender=3, dest=(0,))}
+        log = _log_with(casts, {})
+        assert allowed_participants(log, TOPO) == {0, 1, 3}
+
+    def test_clean_trace_passes(self):
+        casts = {"a": _msg("a", sender=0, dest=(0,))}
+        log = _log_with(casts, {})
+        trace = self._trace_with_participants([(0, 1)])
+        check_genuineness(trace, log, TOPO)
+
+    def test_outsider_caught(self):
+        casts = {"a": _msg("a", sender=0, dest=(0,))}
+        log = _log_with(casts, {})
+        trace = self._trace_with_participants([(0, 1), (2, 3)])
+        with pytest.raises(GenuinenessViolation):
+            check_genuineness(trace, log, TOPO)
+
+    def test_disabled_trace_rejected(self):
+        casts = {"a": _msg("a")}
+        log = _log_with(casts, {})
+        with pytest.raises(ValueError, match="trace=True"):
+            check_genuineness(MessageTrace(enabled=False), log, TOPO)
+
+
+class TestQuiescence:
+    def test_draining_queue_passes(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        report = check_quiescence(sim)
+        assert report.quiescent
+        assert report.drained_at == 1.0
+
+    def test_livelock_caught(self):
+        sim = Simulator()
+
+        def tick():
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        with pytest.raises(QuiescenceViolation):
+            check_quiescence(sim, max_events=50)
+
+    def test_reports_last_send_time(self):
+        sim = Simulator()
+        trace = MessageTrace(enabled=True)
+        msg = Message(src=0, dst=1, kind="x", payload={})
+        sim.schedule(2.0, lambda: trace.on_send(sim.now, msg))
+        report = check_quiescence(sim, trace)
+        assert report.last_send_at == 2.0

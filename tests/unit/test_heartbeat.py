@@ -1,0 +1,138 @@
+"""Unit and integration tests for the heartbeat failure detector."""
+
+import random
+
+import pytest
+
+from repro.checkers.properties import check_all
+from repro.consensus.paxos import GroupConsensus
+from repro.core.amcast import AtomicMulticastA1
+from repro.failure.heartbeat import HeartbeatFailureDetector
+from repro.net.network import Network
+from repro.net.topology import Fixed, LatencyModel, Topology
+from repro.net.trace import MessageTrace
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+def _system(group_sizes=(3,), period=10.0, timeout=35.0):
+    sim = Simulator()
+    topo = Topology(list(group_sizes))
+    net = Network(sim, topo, LatencyModel(Fixed(1.0), Fixed(50.0)),
+                  random.Random(0), trace=MessageTrace(False))
+    for pid in topo.processes:
+        net.register(Process(pid, topo.group_of(pid), sim))
+    fd = HeartbeatFailureDetector(sim, net, topo, period=period,
+                                  timeout=timeout)
+    return sim, topo, net, fd
+
+
+class TestDetectorBehaviour:
+    def test_timeout_must_exceed_period(self):
+        with pytest.raises(ValueError):
+            _system(period=10.0, timeout=5.0)
+
+    def test_no_false_suspicions_among_correct_processes(self):
+        sim, topo, net, fd = _system()
+        sim.run(until=500.0)
+        for p in topo.processes:
+            for q in topo.processes:
+                assert not fd.suspects(p, q)
+
+    def test_crashed_process_eventually_suspected(self):
+        sim, topo, net, fd = _system()
+        sim.call_at(100.0, net.process(1).crash)
+        sim.run(until=100.0 + 35.0 + 15.0)
+        assert fd.suspects(0, 1)
+        assert fd.suspects(2, 1)
+
+    def test_not_suspected_before_timeout(self):
+        sim, topo, net, fd = _system()
+        sim.call_at(100.0, net.process(1).crash)
+        sim.run(until=110.0)
+        assert not fd.suspects(0, 1)
+
+    def test_self_never_suspected(self):
+        sim, topo, net, fd = _system()
+        sim.run(until=200.0)
+        assert not fd.suspects(0, 0)
+
+    def test_cross_group_peers_not_suspected(self):
+        """Heartbeats are group-scoped; outsiders default to trusted."""
+        sim, topo, net, fd = _system(group_sizes=(2, 2))
+        sim.call_at(50.0, net.process(3).crash)
+        sim.run(until=300.0)
+        assert fd.suspects(2, 3)       # same group: suspected
+        assert not fd.suspects(0, 3)   # other group: not covered
+
+    def test_leader_election_moves_past_crash(self):
+        sim, topo, net, fd = _system()
+        sim.call_at(50.0, net.process(0).crash)
+        sim.run(until=150.0)
+        assert fd.leader(1, topo.members(0)) == 1
+
+    def test_stop_ends_heartbeat_traffic(self):
+        sim, topo, net, fd = _system()
+        sim.run(until=100.0)
+        fd.stop()
+        sim.run_until_quiescent(max_events=100_000)  # drains now
+
+    def test_last_heartbeat_diagnostic(self):
+        sim, topo, net, fd = _system()
+        sim.run(until=50.0)
+        assert fd.last_heartbeat(0, 1) is not None
+        assert fd.last_heartbeat(0, 99) is None
+
+
+class TestProtocolsOverHeartbeats:
+    """The stacks need only the FailureDetector interface."""
+
+    def test_consensus_decides_with_heartbeat_detector(self):
+        sim, topo, net, fd = _system()
+        decisions = {}
+        stacks = {}
+        for pid in topo.processes:
+            stack = GroupConsensus(net.process(pid), topo.members(0), fd,
+                                   retry_timeout=40.0)
+            stack.set_decision_handler(
+                lambda k, v, pid=pid: decisions.setdefault(pid, v))
+            stacks[pid] = stack
+        stacks[0].propose(1, ("value",))
+        sim.run(until=300.0)
+        assert decisions == {0: ("value",), 1: ("value",), 2: ("value",)}
+
+    def test_consensus_survives_leader_crash(self):
+        sim, topo, net, fd = _system(period=5.0, timeout=20.0)
+        decisions = {}
+        stacks = {}
+        for pid in topo.processes:
+            stack = GroupConsensus(net.process(pid), topo.members(0), fd,
+                                   retry_timeout=30.0)
+            stack.set_decision_handler(
+                lambda k, v, pid=pid: decisions.setdefault(pid, v))
+            stacks[pid] = stack
+        net.process(0).crash()  # rank-0 leader is already gone
+        stacks[1].propose(1, ("survivor",))
+        sim.run(until=500.0)
+        assert decisions.get(1) == ("survivor",)
+        assert decisions.get(2) == ("survivor",)
+
+    def test_a1_full_run_with_heartbeats(self):
+        from repro.core.interfaces import AppMessage
+        from repro.runtime.results import DeliveryLog
+
+        sim, topo, net, fd = _system(group_sizes=(2, 2))
+        log = DeliveryLog()
+        endpoints = {}
+        for pid in topo.processes:
+            endpoint = AtomicMulticastA1(net.process(pid), topo, fd)
+            endpoint.set_delivery_handler(
+                lambda m, pid=pid: log.record_delivery(pid, m))
+            endpoints[pid] = endpoint
+        msg = AppMessage.fresh(sender=0, dest_groups=(0, 1))
+        log.record_cast(msg)
+        endpoints[0].a_mcast(msg)
+        sim.run(until=500.0)
+        check_all(log, topo)
+        for pid in topo.processes:
+            assert log.sequence(pid) == [msg.mid]

@@ -1,0 +1,259 @@
+"""Unit tests for topology, latency models and the simulated network."""
+
+import random
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.topology import Fixed, Jittered, LatencyModel, Topology, Uniform
+from repro.net.trace import MessageTrace, NetworkStats
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class TestTopology:
+    def test_consecutive_pid_assignment(self):
+        topo = Topology([3, 2])
+        assert topo.members(0) == [0, 1, 2]
+        assert topo.members(1) == [3, 4]
+        assert topo.n_processes == 5
+
+    def test_group_of(self):
+        topo = Topology([2, 2])
+        assert topo.group_of(0) == 0
+        assert topo.group_of(3) == 1
+
+    def test_same_group(self):
+        topo = Topology([2, 2])
+        assert topo.same_group(0, 1)
+        assert not topo.same_group(1, 2)
+
+    def test_processes_of_groups(self):
+        topo = Topology([2, 2, 2])
+        assert topo.processes_of_groups([2, 0]) == [0, 1, 4, 5]
+        assert topo.processes_of_groups([1, 1]) == [2, 3]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([3, 0])
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([])
+
+    def test_group_ids(self):
+        assert Topology([1, 1, 1]).group_ids == [0, 1, 2]
+
+
+class TestDistributions:
+    def test_fixed(self):
+        assert Fixed(5.0).sample(random.Random(0)) == 5.0
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        dist = Uniform(1.0, 2.0)
+        for _ in range(100):
+            assert 1.0 <= dist.sample(rng) <= 2.0
+
+    def test_jittered_at_least_base(self):
+        rng = random.Random(0)
+        dist = Jittered(10.0, 2.0)
+        for _ in range(100):
+            assert dist.sample(rng) >= 10.0
+
+    def test_jittered_zero_jitter_is_fixed(self):
+        assert Jittered(10.0, 0.0).sample(random.Random(0)) == 10.0
+
+
+class TestLatencyModel:
+    def test_intra_vs_inter(self):
+        model = LatencyModel(intra=Fixed(1.0), inter=Fixed(100.0))
+        rng = random.Random(0)
+        assert model.sample(0, 0, rng) == 1.0
+        assert model.sample(0, 1, rng) == 100.0
+
+    def test_pairwise_override(self):
+        model = LatencyModel(
+            intra=Fixed(1.0), inter=Fixed(100.0),
+            pairwise_inter={(0, 1): Fixed(250.0)},
+        )
+        rng = random.Random(0)
+        assert model.sample(0, 1, rng) == 250.0
+        assert model.sample(1, 0, rng) == 100.0  # override is directional
+
+    def test_logical_model_unit_hops(self):
+        model = LatencyModel.logical()
+        rng = random.Random(0)
+        assert model.sample(0, 1, rng) == 1.0
+        assert model.sample(0, 0, rng) < 0.01
+
+    def test_wan_model_scale(self):
+        model = LatencyModel.wan(intra_ms=1.0, inter_ms=100.0)
+        rng = random.Random(0)
+        assert model.sample(0, 0, rng) < 10.0
+        assert model.sample(0, 1, rng) >= 100.0
+
+
+def _network(group_sizes=(2, 2), latency=None, trace=True):
+    sim = Simulator()
+    topo = Topology(list(group_sizes))
+    net = Network(
+        sim, topo, latency or LatencyModel(Fixed(1.0), Fixed(10.0)),
+        random.Random(0), trace=MessageTrace(enabled=trace),
+    )
+    for pid in topo.processes:
+        net.register(Process(pid, topo.group_of(pid), sim))
+    return sim, topo, net
+
+
+class TestNetwork:
+    def test_point_to_point_delivery(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        net.send(0, 1, "test", {"x": 42})
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload["x"] == 42
+        assert sim.now == 1.0  # intra-group latency
+
+    def test_inter_group_latency_applied(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(2).register_handler("test", lambda m: got.append(sim.now))
+        net.send(0, 2, "test", {})
+        sim.run()
+        assert got == [10.0]
+
+    def test_stats_count_scopes(self):
+        sim, topo, net = _network()
+        for pid in topo.processes:
+            net.process(pid).register_handler("test", lambda m: None)
+        net.send(0, 1, "test", {})   # intra
+        net.send(0, 2, "test", {})   # inter
+        net.send(0, 3, "test", {})   # inter
+        sim.run()
+        assert net.stats.intra_group_messages == 1
+        assert net.stats.inter_group_messages == 2
+        assert net.stats.total_messages == 3
+
+    def test_crashed_sender_sends_nothing(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        net.process(0).crash()
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert got == []
+        assert net.stats.total_messages == 0
+
+    def test_crashed_destination_drops(self):
+        sim, topo, net = _network()
+        net.process(1).register_handler("test", lambda m: None)
+        net.send(0, 1, "test", {})
+        net.process(1).crash()
+        sim.run()
+        assert net.stats.dropped == 1
+
+    def test_in_flight_survives_sender_crash(self):
+        """Quasi-reliability: a copy already sent is delivered."""
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        net.send(0, 1, "test", {})
+        net.process(0).crash()
+        sim.run()
+        assert len(got) == 1
+
+    def test_lamport_stamping_inter_group(self):
+        sim, topo, net = _network()
+        net.process(2).register_handler("test", lambda m: None)
+        net.send(0, 2, "test", {})
+        sim.run()
+        assert net.process(2).lamport.value == 1
+        assert net.process(0).lamport.value == 0
+
+    def test_lamport_stamping_intra_group(self):
+        sim, topo, net = _network()
+        net.process(1).register_handler("test", lambda m: None)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert net.process(1).lamport.value == 0
+
+    def test_send_many_single_logical_step(self):
+        """All copies of a one-to-many send carry the same timestamp."""
+        sim, topo, net = _network()
+        stamps = []
+        for pid in (1, 2, 3):
+            net.process(pid).register_handler(
+                "test", lambda m: stamps.append(m.send_lamport))
+        net.process(2).lamport.observe_receive(5)  # receiver clock differs
+        net.send_many(0, [1, 2, 3], "test", {})
+        sim.run()
+        # Intra copy ts=0; both inter copies ts=1 (not 1 then 2).
+        assert sorted(stamps) == [0, 1, 1]
+
+    def test_delivery_filter_drops(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        net.add_delivery_filter(lambda m: m.dst != 1)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert got == []
+        assert net.stats.dropped == 1
+
+    def test_duplicate_registration_rejected(self):
+        sim, topo, net = _network()
+        with pytest.raises(ValueError):
+            net.register(Process(0, 0, sim))
+
+    def test_unknown_kind_raises(self):
+        sim, topo, net = _network()
+        net.send(0, 1, "nohandler", {})
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_trace_records_participants(self):
+        sim, topo, net = _network()
+        net.process(1).register_handler("test", lambda m: None)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert net.trace.senders() == {0}
+        assert net.trace.receivers() == {1}
+        assert net.trace.participants() == {0, 1}
+
+    def test_trace_disabled_records_nothing(self):
+        sim, topo, net = _network(trace=False)
+        net.process(1).register_handler("test", lambda m: None)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert net.trace.events == []
+
+
+class TestProcess:
+    def test_crashed_process_ignores_messages(self):
+        sim, topo, net = _network()
+        got = []
+        proc = net.process(1)
+        proc.register_handler("test", lambda m: got.append(m))
+        proc.crashed = True
+        proc.handle(Message(src=0, dst=1, kind="test", payload={}))
+        assert got == []
+
+    def test_duplicate_handler_rejected(self):
+        sim, topo, net = _network()
+        proc = net.process(0)
+        proc.register_handler("k", lambda m: None)
+        with pytest.raises(ValueError):
+            proc.register_handler("k", lambda m: None)
+
+    def test_crash_hooks_fire_once(self):
+        sim, topo, net = _network()
+        proc = net.process(0)
+        fired = []
+        proc.add_crash_hook(lambda: fired.append(1))
+        proc.crash()
+        proc.crash()
+        assert fired == [1]
