@@ -1,0 +1,184 @@
+"""Canonical throughput scenarios shared by the benchmark suite.
+
+Each scenario is a fixed (protocol, topology, workload plan) triple that
+drives a complete simulated run and reports how fast the *simulator*
+chewed through it: wall-clock seconds, kernel events per wall second,
+and simulated network messages per wall second.  The workload plan is a
+pure function of the seed and topology, so the identical plan can be
+replayed against different engine versions — `BASELINE_FILE` stores the
+numbers measured at the pre-refactor seed commit and
+``benchmarks/test_throughput.py`` compares fresh runs against it.
+
+Scenario names are stable identifiers; do not rename without migrating
+``baseline_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List
+
+from repro.runtime.builder import System, build_system
+from repro.workload.generators import (
+    burst_workload,
+    poisson_workload,
+    schedule_workload,
+    uniform_k_groups,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_FILE = os.path.join(HERE, "baseline_throughput.json")
+REPORT_FILE = os.path.join(os.path.dirname(HERE), "BENCH_throughput.json")
+
+
+@dataclass
+class ThroughputResult:
+    """One scenario's outcome (correctness counts + wall-clock speed).
+
+    ``events_per_sec`` counts *simulated message events* (network copies
+    pushed through the engine) per wall-clock second.  Because a
+    scenario replays a fixed workload plan, this numerator is identical
+    across engine versions and the ratio of two runs equals their
+    wall-time ratio — the fair basis for before/after comparisons.
+    ``kernel_events_per_sec`` counts raw kernel events, which the
+    batched network *reduces* for the same work, so it understates
+    engine speedups by design.
+    """
+
+    scenario: str
+    protocol: str
+    casts: int
+    deliveries: int
+    events_executed: int
+    network_messages: int
+    virtual_end: float
+    wall_seconds: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulated message events per wall-clock second."""
+        return self.network_messages / self.wall_seconds
+
+    @property
+    def kernel_events_per_sec(self) -> float:
+        return self.events_executed / self.wall_seconds
+
+    @property
+    def msgs_per_sec(self) -> float:
+        """Alias of :attr:`events_per_sec` (simulated msgs / wall sec)."""
+        return self.network_messages / self.wall_seconds
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["events_per_sec"] = round(self.events_per_sec, 1)
+        data["kernel_events_per_sec"] = round(self.kernel_events_per_sec, 1)
+        data["msgs_per_sec"] = round(self.msgs_per_sec, 1)
+        data["wall_seconds"] = round(self.wall_seconds, 4)
+        return data
+
+
+def _run(name: str, system: System, plans) -> ThroughputResult:
+    schedule_workload(system, plans)
+    if hasattr(system.endpoints[0], "start_rounds"):
+        system.start_rounds()
+    t0 = time.perf_counter()
+    system.run_quiescent(max_events=50_000_000)
+    wall = time.perf_counter() - t0
+    deliveries = sum(
+        len(system.log.sequence(pid)) for pid in system.log.processes()
+    )
+    return ThroughputResult(
+        scenario=name,
+        protocol=system.protocol_name,
+        casts=len(system.log.cast_messages()),
+        deliveries=deliveries,
+        events_executed=system.sim.events_executed,
+        network_messages=system.network.stats.total_messages,
+        virtual_end=system.sim.now,
+        wall_seconds=max(wall, 1e-9),
+    )
+
+
+def poisson_hi_a1(seed: int = 42) -> ThroughputResult:
+    """The headline scenario: high-rate Poisson multicast through A1.
+
+    ~6k messages in 40 virtual time units keeps hundreds of messages
+    in flight at once — the regime where PENDING depth makes delivery
+    and proposal costs matter, per the refactor's motivation.
+    """
+    system = build_system(protocol="a1", group_sizes=[3, 3, 3], seed=seed)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=150.0, duration=40.0,
+        destinations=uniform_k_groups(2),
+    )
+    return _run("poisson_hi_a1", system, plans)
+
+
+def poisson_hi_a2(seed: int = 42) -> ThroughputResult:
+    """High-rate Poisson broadcast through A2's proactive rounds."""
+    system = build_system(protocol="a2", group_sizes=[3, 3, 3], seed=seed)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=30.0, duration=40.0,
+    )
+    return _run("poisson_hi_a2", system, plans)
+
+
+def burst_a1(seed: int = 42) -> ThroughputResult:
+    """Bursty multicast: deep PENDING sets stress the delivery queue."""
+    system = build_system(protocol="a1", group_sizes=[3, 3, 3], seed=seed)
+    plans = burst_workload(
+        system.topology, system.rng.stream("wl"),
+        bursts=8, burst_size=60, gap=12.0,
+        destinations=uniform_k_groups(2),
+    )
+    return _run("burst_a1", system, plans)
+
+
+def poisson_skeen(seed: int = 42) -> ThroughputResult:
+    """Failure-free baseline (decentralised Skeen) under the same load."""
+    system = build_system(protocol="skeen", group_sizes=[3, 3, 3], seed=seed)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=30.0, duration=40.0,
+        destinations=uniform_k_groups(2),
+    )
+    return _run("poisson_skeen", system, plans)
+
+
+def poisson_sequencer(seed: int = 42) -> ThroughputResult:
+    """Sequencer broadcast baseline under the same Poisson load."""
+    system = build_system(protocol="sequencer", group_sizes=[3, 3, 3],
+                          seed=seed)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=30.0, duration=40.0,
+    )
+    return _run("poisson_sequencer", system, plans)
+
+
+SCENARIOS: Dict[str, Callable[[], ThroughputResult]] = {
+    "poisson_hi_a1": poisson_hi_a1,
+    "poisson_hi_a2": poisson_hi_a2,
+    "burst_a1": burst_a1,
+    "poisson_skeen": poisson_skeen,
+    "poisson_sequencer": poisson_sequencer,
+}
+
+
+def run_all() -> List[ThroughputResult]:
+    return [fn() for fn in SCENARIOS.values()]
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_FILE) as fh:
+        return json.load(fh)
+
+
+if __name__ == "__main__":
+    results = {r.scenario: r.to_json() for r in run_all()}
+    print(json.dumps(results, indent=2))

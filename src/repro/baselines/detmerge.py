@@ -27,7 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.interfaces import AppMessage, AtomicBroadcast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicBroadcast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.process import Process
@@ -53,10 +58,11 @@ class DeterministicMergeBroadcast(AtomicBroadcast):
         self.topology = topology
         self.ns = namespace
         self.slot_period = slot_period
+        self.catalog = MessageCatalog.of(process.sim)
 
-        self._outbox: List[tuple] = []       # wires waiting for a slot
+        self._outbox: List[str] = []         # mids waiting for a slot
         self._my_next_slot = 0
-        self._slots: Dict[Tuple[int, int], list] = {}  # (pub, idx) -> wires
+        self._slots: Dict[Tuple[int, int], list] = {}  # (pub, idx) -> mids
         self._cursor = (0, 0)                # (index, publisher rank)
         self._max_real_index = -1            # highest index with a message
         self._ticking = False
@@ -71,7 +77,8 @@ class DeterministicMergeBroadcast(AtomicBroadcast):
 
     def a_bcast(self, msg: AppMessage) -> None:
         """Queue m for our next slot; start the slot clock if idle."""
-        self._outbox.append(msg.to_wire())
+        self.catalog.intern(msg)
+        self._outbox.append(msg.mid)
         self._ensure_ticking(immediate=True)
 
     # ------------------------------------------------------------------
@@ -90,11 +97,11 @@ class DeterministicMergeBroadcast(AtomicBroadcast):
             return
         index = self._my_next_slot
         self._my_next_slot += 1
-        wires = list(self._outbox)
+        mids = list(self._outbox)
         self._outbox.clear()
         self.process.send_many(
             self.topology.processes, f"{self.ns}.slot",
-            {"pub": self.process.pid, "index": index, "wires": wires},
+            {"pub": self.process.pid, "index": index, "mids": mids},
         )
         if self._behind_real_traffic():
             self._ensure_ticking()
@@ -110,9 +117,9 @@ class DeterministicMergeBroadcast(AtomicBroadcast):
     # ------------------------------------------------------------------
     def _on_slot(self, netmsg: Message) -> None:
         key = (netmsg.payload["pub"], netmsg.payload["index"])
-        wires = netmsg.payload["wires"]
-        self._slots.setdefault(key, wires)
-        if wires:
+        mids = netmsg.payload["mids"]
+        self._slots.setdefault(key, mids)
+        if mids:
             self._max_real_index = max(self._max_real_index,
                                        netmsg.payload["index"])
             # Someone published real traffic: we must emit matching
@@ -127,8 +134,8 @@ class DeterministicMergeBroadcast(AtomicBroadcast):
             key = (publishers[rank], index)
             if key not in self._slots:
                 return
-            for wire in sorted(self._slots.pop(key)):
-                msg = AppMessage.from_wire(wire)
+            for mid in sorted(self._slots.pop(key)):
+                msg = self.catalog.get(mid)
                 if self._handler is None:
                     raise RuntimeError("no A-Deliver handler installed")
                 self._handler(msg)

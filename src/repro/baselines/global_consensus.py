@@ -31,7 +31,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.consensus.paxos import GroupConsensus
-from repro.core.interfaces import AppMessage, AtomicMulticast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicMulticast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.failure.detectors import FailureDetector
 from repro.net.message import Message
 from repro.net.topology import Topology
@@ -66,6 +71,7 @@ class GlobalConsensusMulticast(AtomicMulticast):
         self.retry_timeout = retry_timeout
         self.ns = namespace
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
         self.clock = 0
         self.entries: Dict[str, _Entry] = {}
         self.delivered: Set[str] = set()
@@ -84,9 +90,10 @@ class GlobalConsensusMulticast(AtomicMulticast):
         self._handler = handler
 
     def a_mcast(self, msg: AppMessage) -> None:
+        self.catalog.intern(msg)
         dest = self.topology.processes_of_groups(msg.dest_groups)
         self.process.send_many(dest, f"{self.ns}.data",
-                               {"wire": msg.to_wire()})
+                               {"mid": msg.mid})
 
     # ------------------------------------------------------------------
     def _cohort(self, dest_groups: tuple) -> GroupConsensus:
@@ -106,7 +113,7 @@ class GlobalConsensusMulticast(AtomicMulticast):
 
     # ------------------------------------------------------------------
     def _on_data(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        msg = self.catalog.get(netmsg.payload["mid"])
         entry = self.entries.get(msg.mid)
         if entry is None:
             entry = _Entry(msg=msg)
@@ -120,12 +127,11 @@ class GlobalConsensusMulticast(AtomicMulticast):
         others = [p for p in dest if p != self.process.pid]
         if others:
             self.process.send_many(others, f"{self.ns}.ts",
-                                   {"mid": msg.mid, "ts": self.clock,
-                                    "wire": msg.to_wire()})
+                                   {"mid": msg.mid, "ts": self.clock})
         self._maybe_run_consensus(entry)
 
     def _on_ts(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        msg = self.catalog.get(netmsg.payload["mid"])
         entry = self.entries.get(msg.mid)
         if entry is None:
             entry = _Entry(msg=msg)
@@ -144,12 +150,12 @@ class GlobalConsensusMulticast(AtomicMulticast):
         entry.proposed_to_consensus = True
         final = max(entry.proposals.values())
         self._cohort(entry.msg.dest_groups).propose(
-            entry.msg.mid, (entry.msg.to_wire(), final)
+            entry.msg.mid, (entry.msg.mid, final)
         )
 
     def _on_consensus_decision(self, mid: str, value: tuple) -> None:
-        wire, final = value
-        msg = AppMessage.from_wire(wire)
+        decided_mid, final = value
+        msg = self.catalog.get(decided_mid)
         entry = self.entries.get(mid)
         if entry is None:
             entry = _Entry(msg=msg)

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.core.interfaces import AppMessage, AtomicBroadcast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicBroadcast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.process import Process
@@ -40,9 +45,10 @@ class OptimisticBroadcast(AtomicBroadcast):
         self.ns = namespace
         self.sequencer = topology.processes[0]
         self.i_am_sequencer = process.pid == self.sequencer
+        self.catalog = MessageCatalog.of(process.sim)
 
         self._next_seq = 0          # sequencer-side counter
-        self._orders: Dict[int, tuple] = {}   # seq -> wire
+        self._orders: Dict[int, str] = {}   # seq -> mid
         self._have_data: Set[str] = set()
         self._next_deliver = 0      # final-delivery cursor
         self._optimistic: List[str] = []
@@ -62,14 +68,15 @@ class OptimisticBroadcast(AtomicBroadcast):
         return list(self._optimistic)
 
     def a_bcast(self, msg: AppMessage) -> None:
+        self.catalog.intern(msg)
         self.process.send_many(
             self.topology.processes, f"{self.ns}.data",
-            {"wire": msg.to_wire()},
+            {"mid": msg.mid},
         )
 
     # ------------------------------------------------------------------
     def _on_data(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        msg = self.catalog.get(netmsg.payload["mid"])
         if msg.mid in self._have_data:
             return
         self._have_data.add(msg.mid)
@@ -79,20 +86,20 @@ class OptimisticBroadcast(AtomicBroadcast):
             self._next_seq += 1
             self.process.send_many(
                 self.topology.processes, f"{self.ns}.order",
-                {"seq": seq, "wire": netmsg.payload["wire"]},
+                {"seq": seq, "mid": msg.mid},
             )
         self._try_final()
 
     def _on_order(self, netmsg: Message) -> None:
-        self._orders.setdefault(netmsg.payload["seq"], netmsg.payload["wire"])
+        self._orders.setdefault(netmsg.payload["seq"], netmsg.payload["mid"])
         self._try_final()
 
     def _try_final(self) -> None:
         """Final delivery strictly in sequencer order."""
         while self._next_deliver in self._orders:
-            wire = self._orders.pop(self._next_deliver)
+            mid = self._orders.pop(self._next_deliver)
             self._next_deliver += 1
-            msg = AppMessage.from_wire(wire)
+            msg = self.catalog.get(mid)
             if self._handler is None:
                 raise RuntimeError("no A-Deliver handler installed")
             self._handler(msg)

@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.paxos import GroupConsensus
 from repro.consensus.sequence import ConsensusSequence
-from repro.core.interfaces import AppMessage, AtomicMulticast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicMulticast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.failure.detectors import FailureDetector
 from repro.net.message import Message
 from repro.net.topology import Topology
@@ -61,11 +66,12 @@ class RingMulticast(AtomicMulticast):
         self.topology = topology
         self.ns = namespace
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
 
         self.prop_k = 1
         self.floor = 0          # one past the largest final ts seen
         self.current: Optional[str] = None  # message we are blocked on
-        self.pending: Dict[str, Tuple[tuple, int]] = {}  # mid -> (wire, ts_in)
+        self.pending: Dict[str, int] = {}  # mid -> ts_in
         self.entries: Dict[str, _RingEntry] = {}
         self.delivered: Set[str] = set()
         self._handler: Optional[DeliveryHandler] = None
@@ -89,26 +95,26 @@ class RingMulticast(AtomicMulticast):
 
     def a_mcast(self, msg: AppMessage) -> None:
         """Send m to every process of the *first* destination group."""
+        self.catalog.intern(msg)
         first_gid = min(msg.dest_groups)
         self.process.send_many(
             self.topology.members(first_gid), f"{self.ns}.data",
-            {"wire": msg.to_wire(), "ts": 0},
+            {"mid": msg.mid, "ts": 0},
         )
 
     # ------------------------------------------------------------------
     # Ring input
     # ------------------------------------------------------------------
     def _on_data(self, netmsg: Message) -> None:
-        self._enqueue(netmsg.payload["wire"], netmsg.payload["ts"])
+        self._enqueue(netmsg.payload["mid"], netmsg.payload["ts"])
 
     def _on_handoff(self, netmsg: Message) -> None:
-        self._enqueue(netmsg.payload["wire"], netmsg.payload["ts"])
+        self._enqueue(netmsg.payload["mid"], netmsg.payload["ts"])
 
-    def _enqueue(self, wire: tuple, ts_in: int) -> None:
-        mid = wire[0]
+    def _enqueue(self, mid: str, ts_in: int) -> None:
         if mid in self.entries or mid in self.delivered or mid in self.pending:
             return
-        self.pending[mid] = (wire, ts_in)
+        self.pending[mid] = ts_in
         self._maybe_propose()
 
     # ------------------------------------------------------------------
@@ -120,15 +126,15 @@ class RingMulticast(AtomicMulticast):
         if self.prop_k > self.sequence.current:
             return
         mid = min(self.pending)  # deterministic choice
-        wire, ts_in = self.pending[mid]
+        ts_in = self.pending[mid]
         self.sequence.propose(
-            self.sequence.current, (wire, ts_in, self.floor)
+            self.sequence.current, (mid, ts_in, self.floor)
         )
         self.prop_k = self.sequence.current + 1
 
     def _on_decided(self, instance: int, value: tuple) -> None:
-        wire, ts_in, floor = value
-        msg = AppMessage.from_wire(wire)
+        mid, ts_in, floor = value
+        msg = self.catalog.get(mid)
         self.pending.pop(msg.mid, None)
         assigned = max(ts_in, instance, floor)
         self.sequence.advance_to(assigned + 1)
@@ -147,7 +153,7 @@ class RingMulticast(AtomicMulticast):
                 self.process.send_many(
                     self.topology.processes_of_groups(others),
                     f"{self.ns}.final",
-                    {"mid": msg.mid, "wire": wire, "ts": assigned},
+                    {"mid": msg.mid, "ts": assigned},
                 )
             self._try_deliver()
             self._maybe_propose()
@@ -157,7 +163,7 @@ class RingMulticast(AtomicMulticast):
             next_gid = ring[ring.index(self.my_gid) + 1]
             self.process.send_many(
                 self.topology.members(next_gid), f"{self.ns}.handoff",
-                {"wire": wire, "ts": assigned},
+                {"mid": msg.mid, "ts": assigned},
             )
 
     def _on_final(self, netmsg: Message) -> None:
@@ -168,8 +174,7 @@ class RingMulticast(AtomicMulticast):
         if entry is None:
             if mid in self.delivered:
                 return
-            entry = _RingEntry(msg=AppMessage.from_wire(netmsg.payload["wire"]),
-                               ts=ts)
+            entry = _RingEntry(msg=self.catalog.get(mid), ts=ts)
             self.entries[mid] = entry
         if not entry.final:
             entry.ts = ts

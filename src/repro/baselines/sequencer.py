@@ -38,7 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.interfaces import AppMessage, AtomicBroadcast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicBroadcast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.failure.detectors import FailureDetector
 from repro.net.message import Message
 from repro.net.topology import Topology
@@ -59,6 +64,7 @@ class SequencerBroadcast(AtomicBroadcast):
         self.topology = topology
         self.ns = namespace
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
         # One sequencer per group: its lowest pid.
         self.sequencers = [topology.members(g)[0] for g in topology.group_ids]
         self.my_sequencer = topology.members(self.my_gid)[0]
@@ -66,8 +72,8 @@ class SequencerBroadcast(AtomicBroadcast):
 
         self._majority = topology.n_processes // 2 + 1
         self._next_slot = 0  # sequencer-local emission index
-        # Sequenced slots: (sequencer pid, slot index) -> wire or None.
-        self._slots: Dict[Tuple[int, int], Optional[tuple]] = {}
+        # Sequenced slots: (sequencer pid, slot index) -> mid or None.
+        self._slots: Dict[Tuple[int, int], Optional[str]] = {}
         self._acks: Dict[str, Set[int]] = {}
         self._have_data: Set[str] = set()
         self._optimistic: List[str] = []
@@ -93,14 +99,15 @@ class SequencerBroadcast(AtomicBroadcast):
 
     def a_bcast(self, msg: AppMessage) -> None:
         """Send m to everyone; the sequencer copy rides the same send."""
+        self.catalog.intern(msg)
         self.process.send_many(
             self.topology.processes, f"{self.ns}.data",
-            {"wire": msg.to_wire()},
+            {"mid": msg.mid},
         )
 
     # ------------------------------------------------------------------
     def _on_data(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        msg = self.catalog.get(netmsg.payload["mid"])
         if msg.mid in self._have_data:
             return
         self._have_data.add(msg.mid)
@@ -115,13 +122,13 @@ class SequencerBroadcast(AtomicBroadcast):
             self.process.send_many(
                 self.topology.processes, f"{self.ns}.seq",
                 {"seq_pid": self.process.pid, "slot": slot,
-                 "wire": msg.to_wire()},
+                 "mid": msg.mid},
             )
 
     def _on_seq(self, netmsg: Message) -> None:
         key = (netmsg.payload["seq_pid"], netmsg.payload["slot"])
-        self._slots.setdefault(key, netmsg.payload["wire"])
-        if netmsg.payload["wire"] is not None:
+        self._slots.setdefault(key, netmsg.payload["mid"])
+        if netmsg.payload["mid"] is not None:
             self._max_seen_index = max(self._max_seen_index,
                                        netmsg.payload["slot"])
         self._merge()
@@ -153,9 +160,9 @@ class SequencerBroadcast(AtomicBroadcast):
                 if self._should_emit_noop(key):
                     self._emit_noop(index)
                 return
-            wire = self._slots[key]
-            if wire is not None:
-                msg = AppMessage.from_wire(wire)
+            mid = self._slots[key]
+            if mid is not None:
+                msg = self.catalog.get(mid)
                 if msg.mid not in self._optimistic:
                     self._optimistic.append(msg.mid)
                 if len(self._acks.get(msg.mid, ())) < self._majority:
@@ -184,5 +191,5 @@ class SequencerBroadcast(AtomicBroadcast):
         self._next_slot = max(self._next_slot, index + 1)
         self.process.send_many(
             self.topology.processes, f"{self.ns}.seq",
-            {"seq_pid": self.process.pid, "slot": index, "wire": None},
+            {"seq_pid": self.process.pid, "slot": index, "mid": None},
         )

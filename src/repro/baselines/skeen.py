@@ -27,7 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.core.interfaces import AppMessage, AtomicMulticast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicMulticast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.process import Process
@@ -56,6 +61,7 @@ class SkeenMulticast(AtomicMulticast):
         self.topology = topology
         self.ns = namespace
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
         self.clock = 0  # Skeen's per-process logical clock
         self.entries: Dict[str, _Entry] = {}
         self.delivered: Set[str] = set()
@@ -70,9 +76,9 @@ class SkeenMulticast(AtomicMulticast):
         self._handler = handler
 
     def a_mcast(self, msg: AppMessage) -> None:
+        self.catalog.intern(msg)
         dest = self.topology.processes_of_groups(msg.dest_groups)
-        self.process.send_many(dest, f"{self.ns}.data",
-                               {"wire": msg.to_wire()})
+        self.process.send_many(dest, f"{self.ns}.data", {"mid": msg.mid})
 
     # ------------------------------------------------------------------
     def _entry(self, msg: AppMessage) -> _Entry:
@@ -81,7 +87,7 @@ class SkeenMulticast(AtomicMulticast):
         return self.entries[msg.mid]
 
     def _on_data(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
+        msg = self.catalog.get(netmsg.payload["mid"])
         entry = self._entry(msg)
         if entry.msg.sender == -1:
             entry.msg = msg  # replace the proposal-only stub

@@ -102,6 +102,7 @@ class GroupConsensus(ConsensusProtocol):
         self._decisions: Dict[int, Any] = {}
         self._max_ballot_seen: Dict[int, int] = {}
         self._timer_armed: Set[int] = set()
+        self._timer_events: Dict[int, object] = {}
         self._handler: Optional[DecisionHandler] = None
 
         for suffix in (
@@ -197,7 +198,7 @@ class GroupConsensus(ConsensusProtocol):
         if instance in self._timer_armed or instance in self._decisions:
             return
         self._timer_armed.add(instance)
-        self.process.sim.schedule(
+        self._timer_events[instance] = self.process.sim.schedule(
             self.retry_timeout,
             lambda: self._on_timer(instance),
             label=f"{self.ns}.retry",
@@ -205,6 +206,7 @@ class GroupConsensus(ConsensusProtocol):
 
     def _on_timer(self, instance: int) -> None:
         self._timer_armed.discard(instance)
+        self._timer_events.pop(instance, None)
         if instance in self._decisions or self.process.crashed:
             return
         self._attempt(instance)
@@ -345,5 +347,12 @@ class GroupConsensus(ConsensusProtocol):
             key: voters for key, voters in self._accepted_tally.items()
             if key[0] != instance
         }
+        # The retry timer would fire, see the decision, and do nothing;
+        # cancelling it keeps the queue free of dead-air events and lets
+        # a finished group quiesce retry_timeout earlier.
+        self._timer_armed.discard(instance)
+        timer = self._timer_events.pop(instance, None)
+        if timer is not None:
+            timer.cancel()
         if self._handler is not None:
             self._handler(instance, value)

@@ -31,7 +31,12 @@ from typing import Dict, Optional, Set
 
 from repro.consensus.paxos import GroupConsensus
 from repro.consensus.sequence import ConsensusSequence
-from repro.core.interfaces import AppMessage, AtomicBroadcast, DeliveryHandler
+from repro.core.interfaces import (
+    AppMessage,
+    AtomicBroadcast,
+    DeliveryHandler,
+    MessageCatalog,
+)
 from repro.core.prediction import PaperPredictor, QuiescencePredictor
 from repro.failure.detectors import FailureDetector
 from repro.net.message import Message
@@ -79,13 +84,14 @@ class AtomicBroadcastA2(AtomicBroadcast):
         self.predictor = predictor or PaperPredictor()
         self._propose_scheduled = False
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
 
         # Paper line 2-3: K=1, propK=1, sets empty, Barrier=0.
         self.prop_k = 1
         self.rdelivered: Dict[str, AppMessage] = {}
         self.adelivered: Set[str] = set()
         self.barrier = 0
-        # Bundles received per round and group: msgs[x][gid] = wire tuple.
+        # Bundles received per round and group: msgs[x][gid] = mid tuple.
         self.msgs: Dict[int, Dict[int, tuple]] = {}
         self._own_bundle: Dict[int, tuple] = {}
         self._rounds_executed = 0
@@ -145,8 +151,9 @@ class AtomicBroadcastA2(AtomicBroadcast):
 
     def a_bcast(self, msg: AppMessage) -> None:
         """Paper Task 1 (lines 4-5): R-MCast m inside our own group."""
+        self.catalog.intern(msg)
         my_members = self.topology.members(self.my_gid)
-        self.rmcast.multicast(my_members, {"wire": msg.to_wire()}, mid=msg.mid)
+        self.rmcast.multicast(my_members, {"mid": msg.mid}, mid=msg.mid)
 
     def start_rounds(self) -> None:
         """Warm the system up: behave as if round 1 must run.
@@ -165,7 +172,7 @@ class AtomicBroadcastA2(AtomicBroadcast):
     # ------------------------------------------------------------------
     def _on_rdeliver(self, payload: dict, mid: str, sender: int) -> None:
         """Paper lines 6-7."""
-        msg = AppMessage.from_wire(payload["wire"])
+        msg = self.catalog.get(payload["mid"])
         if msg.mid not in self.adelivered:
             self.rdelivered.setdefault(msg.mid, msg)
         self.predictor.observe_cast(self.process.sim.now)
@@ -186,10 +193,13 @@ class AtomicBroadcastA2(AtomicBroadcast):
     # Task 4: rounds
     # ------------------------------------------------------------------
     def _backlog(self) -> tuple:
-        """RDELIVERED \\ ADELIVERED as a deterministic wire tuple."""
-        fresh = [m for mid, m in self.rdelivered.items()
-                 if mid not in self.adelivered]
-        return tuple(sorted(m.to_wire() for m in fresh))
+        """RDELIVERED \\ ADELIVERED as a deterministic mid tuple.
+
+        ``rdelivered`` only ever holds not-yet-A-Delivered messages
+        (line 6 guards insertion, line 19 pops on delivery), so its key
+        set *is* the backlog.
+        """
+        return tuple(sorted(self.rdelivered))
 
     def _maybe_propose(self) -> None:
         """Paper lines 11-13 (optionally behind the bundling window)."""
@@ -255,10 +265,11 @@ class AtomicBroadcastA2(AtomicBroadcast):
             bundles = self.msgs.get(round_k, {})
             if any(gid not in bundles for gid in self.topology.group_ids):
                 return  # line 16: still waiting on some group's bundle
-            # Line 18: union of all bundles.
-            wires = sorted({w for bundle in bundles.values() for w in bundle})
-            to_deliver = [AppMessage.from_wire(w) for w in wires
-                          if w[0] not in self.adelivered]
+            # Line 18: union of all bundles (mids sort identically to
+            # the old wire tuples, whose first element was the mid).
+            mids = sorted({m for bundle in bundles.values() for m in bundle})
+            to_deliver = [self.catalog.get(mid) for mid in mids
+                          if mid not in self.adelivered]
             # Line 19: deterministic delivery order (sorted by id).
             for msg in to_deliver:
                 self.adelivered.add(msg.mid)

@@ -22,11 +22,23 @@ benchmark uses this to measure what the optimisation saves.
 
 Genuineness: only processes in ``m.dest_groups`` (plus the caster, which
 sends the initial reliable multicast) ever handle messages concerning m.
+
+Engine notes (protocol semantics unchanged):
+
+* consensus values and (TS, m) payloads carry interned mids resolved
+  against the per-simulation :class:`MessageCatalog`, not encoded
+  message bodies;
+* the A-Delivery test pops a lazy-deletion heap keyed on ``(ts, mid)``
+  instead of scanning PENDING — O(log n) per delivery.  An entry's
+  timestamp only ever grows (s0 seeds it with the group clock, later
+  stages raise it to consensus instances or proposal maxima), so a
+  stale heap snapshot is always an underestimate and validating it
+  against the live entry is sound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.consensus.paxos import GroupConsensus
@@ -39,6 +51,7 @@ from repro.core.interfaces import (
     AppMessage,
     AtomicMulticast,
     DeliveryHandler,
+    MessageCatalog,
 )
 from repro.failure.detectors import FailureDetector
 from repro.net.message import Message
@@ -47,13 +60,44 @@ from repro.rmcast.reliable import ReliableMulticast
 from repro.sim.process import Process
 
 
-@dataclass
 class _Pending:
     """One entry of the PENDING set (paper's message fields)."""
 
-    msg: AppMessage
-    ts: int
-    stage: int
+    __slots__ = ("msg", "ts", "stage")
+
+    def __init__(self, msg: AppMessage, ts: int, stage: int) -> None:
+        self.msg = msg
+        self.ts = ts
+        self.stage = stage
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Pending({self.msg.mid} ts={self.ts} s{self.stage})"
+
+
+class _PendingIndex(dict):
+    """PENDING as mid -> :class:`_Pending`, indexed for the delivery test.
+
+    Alongside the dict, a lazy-deletion heap of ``(ts, mid)`` snapshots
+    tracks the minimal pending pair.  Inserting through ``__setitem__``
+    indexes automatically; code that raises an entry's ``ts`` in place
+    must call :meth:`touch` to push a fresh snapshot.  Snapshots are
+    invalidated by comparing against the live entry, so deletions need
+    no heap surgery.
+    """
+
+    __slots__ = ("heap",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.heap: List[Tuple[int, str]] = []
+
+    def __setitem__(self, mid: str, entry: _Pending) -> None:
+        super().__setitem__(mid, entry)
+        heapq.heappush(self.heap, (entry.ts, mid))
+
+    def touch(self, entry: _Pending) -> None:
+        """Re-index ``entry`` after its timestamp changed."""
+        heapq.heappush(self.heap, (entry.ts, entry.msg.mid))
 
 
 class AtomicMulticastA1(AtomicMulticast):
@@ -78,14 +122,22 @@ class AtomicMulticastA1(AtomicMulticast):
         self.ns = namespace
         self.enable_stage_skipping = enable_stage_skipping
         self.my_gid = topology.group_of(process.pid)
+        self.catalog = MessageCatalog.of(process.sim)
 
         # Paper line 2: K=1, propK=1, PENDING and ADELIVERED empty.
         self.prop_k = 1
-        self.pending: Dict[str, _Pending] = {}
+        self.pending: Dict[str, _Pending] = _PendingIndex()
+        # Entries at stage s0/s2 — the ones the next consensus proposal
+        # must carry (paper line 15's guard).  Kept in sync with stage
+        # transitions so proposals never rescan all of PENDING.
+        self._eligible: Dict[str, _Pending] = {}
         self.adelivered: Set[str] = set()
         # Timestamp proposals received via (TS, m) messages, buffered by
         # message id and proposing group (may arrive before stage s1).
         self.ts_proposals: Dict[str, Dict[int, int]] = {}
+        # dest_groups -> pids of the *other* destination groups (the
+        # (TS, m) fan-out target); destination sets repeat heavily.
+        self._ts_dests: Dict[Tuple[int, ...], List[int]] = {}
         self._handler: Optional[DeliveryHandler] = None
 
         self.rmcast = self.RMCAST_CLS(
@@ -119,66 +171,70 @@ class AtomicMulticastA1(AtomicMulticast):
         """Paper Task 1 (line 8-9): R-MCast m to the addressees."""
         if not msg.dest_groups:
             raise ValueError("message must address at least one group")
+        self.catalog.intern(msg)
         dest_pids = self.topology.processes_of_groups(msg.dest_groups)
-        self.rmcast.multicast(dest_pids, {"wire": msg.to_wire()}, mid=msg.mid)
+        self.rmcast.multicast(dest_pids, {"mid": msg.mid}, mid=msg.mid)
 
     # ------------------------------------------------------------------
     # Stage s0 entry (paper lines 10-13)
     # ------------------------------------------------------------------
     def _on_rdeliver(self, payload: dict, mid: str, sender: int) -> None:
-        self._ensure_pending(AppMessage.from_wire(payload["wire"]))
+        self._ensure_pending(self.catalog.get(payload["mid"]))
 
     def _ensure_pending(self, msg: AppMessage) -> None:
         """Add m to PENDING at stage s0 unless already known."""
         if msg.mid in self.pending or msg.mid in self.adelivered:
             return
-        self.pending[msg.mid] = _Pending(msg=msg, ts=self.k, stage=STAGE_S0)
+        entry = _Pending(msg=msg, ts=self.k, stage=STAGE_S0)
+        self.pending[msg.mid] = entry
+        self._eligible[msg.mid] = entry
         self._maybe_propose()
 
     # ------------------------------------------------------------------
     # Consensus interaction (paper lines 14-17)
     # ------------------------------------------------------------------
     def _maybe_propose(self) -> None:
-        if self.prop_k > self.k:
+        if self.prop_k > self.k or not self._eligible:
             return
-        eligible = [
-            entry for entry in self.pending.values()
-            if entry.stage in (STAGE_S0, STAGE_S2)
-        ]
-        if not eligible:
+        msg_set = sorted(
+            (mid, entry.stage, entry.ts)
+            for mid, entry in self._eligible.items()
+            if entry.stage == STAGE_S0 or entry.stage == STAGE_S2
+        )
+        if not msg_set:
             return
-        msg_set = tuple(sorted(
-            (entry.msg.to_wire(), entry.stage, entry.ts)
-            for entry in eligible
-        ))
-        self.sequence.propose(self.k, msg_set)
+        self.sequence.propose(self.k, tuple(msg_set))
         self.prop_k = self.k + 1
 
     def _on_decided(self, instance: int, msg_set: tuple) -> None:
         """Paper lines 18-32: process the decision of instance K."""
         decided_ts: List[int] = []
         to_check_ts: List[str] = []
-        for wire, stage, ts in msg_set:
-            msg = AppMessage.from_wire(wire)
-            if msg.mid in self.adelivered:
+        eligible = self._eligible
+        for mid, stage, ts in msg_set:
+            if mid in self.adelivered:
                 continue
-            entry = self.pending.get(msg.mid)
+            entry = self.pending.get(mid)
             if entry is None:
                 # Line 30: the decision introduces a message we had not
                 # seen (our R-Deliver is late); adopt it.
-                entry = _Pending(msg=msg, ts=ts, stage=stage)
-                self.pending[msg.mid] = entry
+                entry = _Pending(msg=self.catalog.get(mid), ts=ts,
+                                 stage=stage)
+                self.pending[mid] = entry
+            msg = entry.msg
             if len(msg.dest_groups) > 1:
                 if stage == STAGE_S0:
                     # Lines 22-24: this instance is our group's proposal.
                     entry.ts = instance
                     entry.stage = STAGE_S1
+                    self.pending.touch(entry)
                     self._send_ts(msg, instance)
-                    to_check_ts.append(msg.mid)
+                    to_check_ts.append(mid)
                 else:
                     # Lines 25-26: clock pushed past the final timestamp.
                     entry.ts = ts
                     entry.stage = STAGE_S3
+                    self.pending.touch(entry)
             else:
                 if self.enable_stage_skipping:
                     # Lines 28-29: single-group message — second
@@ -194,6 +250,13 @@ class AtomicMulticastA1(AtomicMulticast):
                     else:
                         entry.ts = ts
                         entry.stage = STAGE_S3
+                self.pending.touch(entry)
+            # Keep the eligible index exact: only s2 survivors go back
+            # into the next proposal.
+            if entry.stage == STAGE_S2:
+                eligible[mid] = entry
+            else:
+                eligible.pop(mid, None)
             decided_ts.append(entry.ts)
         # Line 31: K <- max(max ts, K) + 1.
         new_k = max(max(decided_ts, default=0), self.k) + 1
@@ -209,32 +272,38 @@ class AtomicMulticastA1(AtomicMulticast):
     # ------------------------------------------------------------------
     def _send_ts(self, msg: AppMessage, proposal: int) -> None:
         """Line 24: send our group's proposal to the other dest groups."""
-        other_groups = [g for g in msg.dest_groups if g != self.my_gid]
-        dest_pids = self.topology.processes_of_groups(other_groups)
+        dest_pids = self._ts_dests.get(msg.dest_groups)
+        if dest_pids is None:
+            other_groups = [g for g in msg.dest_groups if g != self.my_gid]
+            dest_pids = self.topology.processes_of_groups(other_groups)
+            self._ts_dests[msg.dest_groups] = dest_pids
         if dest_pids:
             self.process.send_many(
                 dest_pids, f"{self.ns}.ts",
-                {"wire": msg.to_wire(), "ts": proposal, "gid": self.my_gid},
+                {"mid": msg.mid, "ts": proposal, "gid": self.my_gid},
             )
 
     def _on_ts(self, netmsg: Message) -> None:
-        msg = AppMessage.from_wire(netmsg.payload["wire"])
-        proposals = self.ts_proposals.setdefault(msg.mid, {})
+        mid = netmsg.payload["mid"]
+        proposals = self.ts_proposals.setdefault(mid, {})
         proposals[netmsg.payload["gid"]] = netmsg.payload["ts"]
         # Line 10: a TS message also introduces m (footnote 4 liveness).
-        self._ensure_pending(msg)
-        self._check_ts_complete(msg.mid)
+        self._ensure_pending(self.catalog.get(mid))
+        self._check_ts_complete(mid)
 
     def _check_ts_complete(self, mid: str) -> None:
         """Lines 33-40: all proposals in — fix the final timestamp."""
         entry = self.pending.get(mid)
         if entry is None or entry.stage != STAGE_S1:
             return
-        proposals = self.ts_proposals.get(mid, {})
-        needed = [g for g in entry.msg.dest_groups if g != self.my_gid]
-        if any(g not in proposals for g in needed):
+        proposals = self.ts_proposals.get(mid)
+        # Proposals are keyed by the sending group, which genuineness
+        # restricts to destination groups other than ours (we are an
+        # addressee whenever m is pending here), so completeness is a
+        # count comparison — no per-call list materialisation.
+        if proposals is None or len(proposals) < len(entry.msg.dest_groups) - 1:
             return
-        max_remote = max(proposals[g] for g in needed)
+        max_remote = max(proposals.values())
         if entry.ts >= max_remote and self.enable_stage_skipping:
             # Lines 35-36: our proposal is the maximum — the group clock
             # already passed it (line 31), skip the second consensus.
@@ -244,6 +313,8 @@ class AtomicMulticastA1(AtomicMulticast):
             # Lines 39-40: adopt the final timestamp, catch the clock up.
             entry.ts = max(entry.ts, max_remote)
             entry.stage = STAGE_S2
+            self.pending.touch(entry)
+            self._eligible[mid] = entry
             self._maybe_propose()
 
     # ------------------------------------------------------------------
@@ -251,22 +322,28 @@ class AtomicMulticastA1(AtomicMulticast):
     # ------------------------------------------------------------------
     def _adelivery_test(self) -> None:
         """Deliver while some s3 message is minimal among all pending."""
+        pending = self.pending
+        heap = pending.heap
         while True:
-            candidate = self._minimal_pending()
+            # Find the minimal live (ts, mid) snapshot, pruning stale
+            # ones — this loop runs per delivery opportunity and call
+            # overhead shows in profiles, hence no helper.
+            candidate = None
+            while heap:
+                ts, head_mid = heap[0]
+                candidate = pending.get(head_mid)
+                if candidate is None or candidate.ts != ts:
+                    heapq.heappop(heap)  # deleted or superseded snapshot
+                    candidate = None
+                    continue
+                break
             if candidate is None or candidate.stage != STAGE_S3:
                 return
             mid = candidate.msg.mid
             del self.pending[mid]
+            self._eligible.pop(mid, None)  # defensive: s3 is never eligible
             self.adelivered.add(mid)
             self.ts_proposals.pop(mid, None)
             if self._handler is None:
                 raise RuntimeError("no A-Deliver handler installed")
             self._handler(candidate.msg)
-
-    def _minimal_pending(self) -> Optional[_Pending]:
-        """The pending entry with the smallest (ts, mid), if any."""
-        best: Optional[_Pending] = None
-        for entry in self.pending.values():
-            if best is None or (entry.ts, entry.msg.mid) < (best.ts, best.msg.mid):
-                best = entry
-        return best

@@ -7,6 +7,14 @@ not processes), and an opaque hashable payload.
 Protocols deliver through a single callback installed with
 ``set_delivery_handler``; the experiment runtime wires that callback to
 the delivery log and the latency meter.
+
+Hot-path note: protocol payloads and consensus values do not carry
+encoded message bodies.  Every endpoint interns the message it casts in
+the per-simulation :class:`~repro.net.message.MessageCatalog`
+(re-exported here) and from then on only the compact ``mid`` travels;
+receivers resolve it with ``catalog.get(mid)``.  ``to_wire`` /
+``from_wire`` remain as the explicit encoding for anything that leaves
+the simulation (traces, persisted results).
 """
 
 from __future__ import annotations
@@ -14,6 +22,14 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
+
+from repro.net.message import MessageCatalog
+
+__all__ = [
+    "AppMessage", "AtomicMulticast", "AtomicBroadcast", "DeliveryHandler",
+    "MessageCatalog",
+    "STAGE_S0", "STAGE_S1", "STAGE_S2", "STAGE_S3",
+]
 
 _APP_IDS = itertools.count()
 

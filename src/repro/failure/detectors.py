@@ -67,6 +67,13 @@ class PerfectDetector(FailureDetector):
             return False
         return self.sim.now >= crashed_at + self.delay
 
+    def leader(self, querying_pid: int, candidates) -> Optional[int]:
+        # Fast path for the common crash-free run: nobody is suspected,
+        # so the leader is simply the smallest candidate pid.
+        if not self._crash_times:
+            return min(candidates)
+        return super().leader(querying_pid, candidates)
+
 
 class EventuallyPerfectDetector(FailureDetector):
     """Unreliable before ``stabilise_at``; perfect afterwards."""

@@ -1,4 +1,4 @@
-"""Network message envelope.
+"""Network message envelope and the interned application-message catalog.
 
 A :class:`Message` is what the network hands to a destination process.
 ``kind`` routes the message to the protocol layer that registered for it;
@@ -7,18 +7,24 @@ A :class:`Message` is what the network hands to a destination process.
 ``send_lamport`` carries the modified Lamport timestamp of the send event
 (paper Section 2.3), stamped by the network at send time.  The receiver's
 clock is advanced to ``max(LC, send_lamport)`` before the handler runs.
+
+:class:`MessageCatalog` is the message plane's interning table: each
+application message is registered once, at cast time, and every protocol
+payload from then on carries only its compact ``mid``.  In a real
+deployment the first copy a node receives would carry the full body and
+populate that node's local table; in this single-address-space simulator
+one shared table per simulation models exactly that without re-encoding
+the body into every consensus value and timestamp exchange.  Network
+*copies* (and therefore every message-complexity counter and the
+genuineness trace) are unaffected — only the Python-level payloads
+shrink.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict
-
-_MESSAGE_COUNTER = itertools.count()
+from typing import Any, Dict, Iterator
 
 
-@dataclass
 class Message:
     """One point-to-point message in flight or delivered.
 
@@ -30,17 +36,28 @@ class Message:
         inter_group: True when sender and receiver are in distinct groups.
         send_lamport: Modified Lamport timestamp of the send event.
         send_time: Virtual time of the send event.
-        uid: Unique per-copy identifier (diagnostics).
     """
 
-    src: int
-    dst: int
-    kind: str
-    payload: Dict[str, Any]
-    inter_group: bool = False
-    send_lamport: int = 0
-    send_time: float = 0.0
-    uid: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+    __slots__ = ("src", "dst", "kind", "payload", "inter_group",
+                 "send_lamport", "send_time")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Dict[str, Any],
+        inter_group: bool = False,
+        send_lamport: int = 0,
+        send_time: float = 0.0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.inter_group = inter_group
+        self.send_lamport = send_lamport
+        self.send_time = send_time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         scope = "inter" if self.inter_group else "intra"
@@ -48,3 +65,58 @@ class Message:
             f"Message({self.src}->{self.dst} {self.kind} {scope} "
             f"ts={self.send_lamport} t={self.send_time:.3f})"
         )
+
+
+class MessageCatalog:
+    """Per-simulation interning table of application messages by mid.
+
+    The catalog is the authoritative decode table for the compact mids
+    that protocol payloads and consensus values carry.  Mids must be
+    globally unique (they are also the protocols' total-order
+    tiebreaker), so re-interning a mid with a *different* message is an
+    application bug and raises.
+    """
+
+    __slots__ = ("_by_mid",)
+
+    def __init__(self) -> None:
+        self._by_mid: Dict[str, Any] = {}
+
+    @classmethod
+    def of(cls, sim) -> "MessageCatalog":
+        """The catalog shared by everything attached to ``sim``.
+
+        Lazily creates one catalog per simulator instance, so every
+        process, protocol endpoint, and the :class:`System` wrapper of
+        one simulation resolve mids against the same table while
+        independent simulations stay isolated.
+        """
+        catalog = getattr(sim, "_message_catalog", None)
+        if catalog is None:
+            catalog = cls()
+            sim._message_catalog = catalog
+        return catalog
+
+    def intern(self, msg) -> str:
+        """Register ``msg`` (idempotent); returns its mid."""
+        existing = self._by_mid.get(msg.mid)
+        if existing is None:
+            self._by_mid[msg.mid] = msg
+        elif existing != msg:
+            raise ValueError(
+                f"mid {msg.mid!r} already interned with a different message"
+            )
+        return msg.mid
+
+    def get(self, mid: str):
+        """The message interned under ``mid`` (KeyError if unknown)."""
+        return self._by_mid[mid]
+
+    def __contains__(self, mid: str) -> bool:
+        return mid in self._by_mid
+
+    def __len__(self) -> int:
+        return len(self._by_mid)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_mid)

@@ -49,6 +49,11 @@ class Network:
         self.trace = trace or MessageTrace(enabled=False)
         self._processes: Dict[int, Process] = {}
         self._filters: List[DeliveryFilter] = []
+        # src_gid -> {dst_gid -> constant link delay, or None when the
+        # pair's distribution needs an RNG draw per copy}.  Lazily
+        # filled; rows are fetched once per send_many call so the
+        # per-copy lookup is a single int-keyed dict access.
+        self._fixed_delay: Dict[int, Dict[int, Optional[float]]] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -92,34 +97,112 @@ class Network:
         Every copy is stamped from the sender's *current* clock, so a
         one-to-many send counts as a single logical step (at most one
         inter-group hop on any causal path), per Section 2.3.
+
+        Copies whose sampled link delay coincides are batched into a
+        single kernel event that fans out on fire.  Delays are sampled
+        and copies stamped in destination order, and same-delay copies
+        were already contiguous in the old per-copy scheduling (their
+        sequence numbers were consecutive), so batching changes neither
+        the RNG stream nor any delivery interleaving — it only removes
+        heap traffic.
         """
+        sender = self._processes[src]
+        if sender.crashed:
+            return
+        group_of = self.topology.group_index
+        src_gid = group_of[src]
+        now = self.sim.now
+        lamport = sender.lamport.value  # timestamp_send leaves it unchanged
+        trace = self.trace if self.trace.enabled else None
+        fixed_row = self._fixed_delay.get(src_gid)
+        if fixed_row is None:
+            fixed_row = self._fixed_delay[src_gid] = {}
+        rng = self.rng
+        total = 0
+        n_inter = 0
+        buckets: Dict[float, List[Message]] = {}
         for dst in dsts:
-            self._send_copy(src, dst, kind, payload)
+            dst_gid = group_of[dst]
+            inter = src_gid != dst_gid
+            msg = Message(
+                src, dst, kind, payload, inter,
+                lamport + 1 if inter else lamport, now,
+            )
+            total += 1
+            if inter:
+                n_inter += 1
+            if trace is not None:
+                trace.on_send(now, msg)
+            delay = fixed_row.get(dst_gid, -1.0)
+            if delay == -1.0 and dst_gid not in fixed_row:
+                fixed_row[dst_gid] = delay = self.latency.fixed_delay(
+                    src_gid, dst_gid)
+            if delay is None:
+                delay = self.latency.sample(src_gid, dst_gid, rng)
+            bucket = buckets.get(delay)
+            if bucket is None:
+                buckets[delay] = [msg]
+            else:
+                bucket.append(msg)
+        self.stats.on_send_many(kind, total, n_inter)
+        schedule = self.sim.schedule_action
+        for delay, copies in buckets.items():
+            if len(copies) == 1:
+                schedule(delay, lambda m=copies[0]: self._deliver(m))
+            else:
+                schedule(delay, lambda ms=copies: self._deliver_batch(ms))
 
     def _send_copy(self, src: int, dst: int, kind: str, payload: dict) -> None:
         sender = self._processes[src]
         if sender.crashed:
             return
-        src_gid = self.topology.group_of(src)
-        dst_gid = self.topology.group_of(dst)
+        group_of = self.topology.group_index
+        src_gid = group_of[src]
+        dst_gid = group_of[dst]
         inter = src_gid != dst_gid
+        lamport = sender.lamport.value  # timestamp_send leaves it unchanged
         msg = Message(
-            src=src,
-            dst=dst,
-            kind=kind,
-            payload=payload,
-            inter_group=inter,
-            send_lamport=sender.lamport.timestamp_send(inter),
-            send_time=self.sim.now,
+            src, dst, kind, payload, inter,
+            lamport + 1 if inter else lamport, self.sim.now,
         )
         self.stats.on_send(msg)
-        self.trace.on_send(self.sim.now, msg)
-        delay = self.latency.sample(src_gid, dst_gid, self.rng)
-        self.sim.schedule(delay, lambda m=msg: self._deliver(m), label=kind)
+        if self.trace.enabled:
+            self.trace.on_send(self.sim.now, msg)
+        delay = self._link_delay(src_gid, dst_gid)
+        self.sim.schedule_action(delay, lambda m=msg: self._deliver(m))
+
+    def _link_delay(self, src_gid: int, dst_gid: int) -> float:
+        """One delay draw for the link, via the fixed-delay cache.
+
+        ``send_many`` inlines the same cache consultation per copy (it
+        hoists the row lookup out of its fan-out loop); both paths
+        resolve misses through :meth:`LatencyModel.fixed_delay`, so the
+        caching rule lives in one place.
+        """
+        fixed_row = self._fixed_delay.get(src_gid)
+        if fixed_row is None:
+            fixed_row = self._fixed_delay[src_gid] = {}
+        delay = fixed_row.get(dst_gid, -1.0)
+        if delay == -1.0 and dst_gid not in fixed_row:
+            fixed_row[dst_gid] = delay = self.latency.fixed_delay(
+                src_gid, dst_gid)
+        if delay is None:
+            delay = self.latency.sample(src_gid, dst_gid, self.rng)
+        return delay
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+    def _deliver_batch(self, msgs: List[Message]) -> None:
+        """Fan one latency bucket of a ``send_many`` out to its receivers.
+
+        Per-copy crash and filter checks still run individually; a
+        receiver's handler may crash a later receiver in the same batch
+        and that copy is then dropped, exactly as with per-copy events.
+        """
+        for msg in msgs:
+            self._deliver(msg)
+
     def _deliver(self, msg: Message) -> None:
         receiver = self._processes[msg.dst]
         if receiver.crashed:
@@ -129,6 +212,16 @@ class Network:
             if not flt(msg):
                 self.stats.on_drop(msg)
                 return
-        receiver.lamport.observe_receive(msg.send_lamport)
-        self.trace.on_deliver(self.sim.now, msg)
-        receiver.handle(msg)
+        # Inlined LamportClock.observe_receive and Process.handle —
+        # per-copy hot path (the crashed check already ran above).
+        clock = receiver.lamport
+        if msg.send_lamport > clock.value:
+            clock.value = msg.send_lamport
+        if self.trace.enabled:
+            self.trace.on_deliver(self.sim.now, msg)
+        handler = receiver._handlers.get(msg.kind)
+        if handler is None:
+            raise KeyError(
+                f"process {receiver.pid} has no handler for kind {msg.kind!r}"
+            )
+        handler(msg)

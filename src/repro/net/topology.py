@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 # ----------------------------------------------------------------------
@@ -93,6 +93,23 @@ class LatencyModel:
         dist = self.pairwise_inter.get((src_gid, dst_gid), self.inter)
         return dist.sample(rng)
 
+    def distribution(self, src_gid: int, dst_gid: int) -> Distribution:
+        """The distribution governing this (source, destination) pair."""
+        if src_gid == dst_gid:
+            return self.intra
+        return self.pairwise_inter.get((src_gid, dst_gid), self.inter)
+
+    def fixed_delay(self, src_gid: int, dst_gid: int) -> Optional[float]:
+        """The pair's constant delay, or None if it needs sampling.
+
+        A :class:`Fixed` link draws nothing from the RNG, so callers may
+        reuse this value per copy without perturbing any random stream.
+        """
+        dist = self.distribution(src_gid, dst_gid)
+        if type(dist) is Fixed:
+            return dist.value
+        return None
+
     @classmethod
     def wan(
         cls,
@@ -143,6 +160,10 @@ class Topology:
                 self._group_of[member] = gid
             pid += size
         self.n_processes = pid
+        #: Read-only pid -> gid mapping for hot paths (the network stamps
+        #: every message copy with it); treat as immutable.
+        self.group_index: Dict[int, int] = self._group_of
+        self._pog_cache: Dict[Tuple[int, ...], List[int]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -173,11 +194,20 @@ class Topology:
         return self._group_of[a] == self._group_of[b]
 
     def processes_of_groups(self, gids) -> List[int]:
-        """All processes in the given groups, ascending."""
-        result: List[int] = []
-        for gid in sorted(set(gids)):
-            result.extend(self._members[gid])
-        return result
+        """All processes in the given groups, ascending.
+
+        The sort/dedup/flatten is memoised per destination set
+        (protocols resolve the same sets for every message); callers
+        get a fresh copy, so mutating the result stays safe.
+        """
+        key = gids if type(gids) is tuple else tuple(gids)
+        cached = self._pog_cache.get(key)
+        if cached is None:
+            cached = []
+            for gid in sorted(set(key)):
+                cached.extend(self._members[gid])
+            self._pog_cache[key] = cached
+        return list(cached)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = [len(m) for m in self._members]

@@ -42,6 +42,14 @@ class NetworkStats:
             self.intra_group_messages += 1
         self.by_kind[msg.kind] += 1
 
+    def on_send_many(self, kind: str, total: int, inter: int) -> None:
+        """Account for one ``send_many`` fan-out in a single update."""
+        self.inter_group_messages += inter
+        self.intra_group_messages += total - inter
+        self.by_kind[kind] += total
+        if inter:
+            self.by_kind_inter[kind] += inter
+
     def on_drop(self, msg: Message) -> None:
         """Account for a copy dropped (destination crashed, filter)."""
         self.dropped += 1

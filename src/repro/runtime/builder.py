@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.clocks.latency import LatencyMeter
-from repro.core.interfaces import AppMessage
+from repro.core.interfaces import AppMessage, MessageCatalog
 from repro.failure.detectors import (
     EventuallyPerfectDetector,
     FailureDetector,
@@ -68,6 +68,7 @@ class System:
         self.crashes = crashes
         self.meter = LatencyMeter()
         self.log = DeliveryLog()
+        self.catalog = MessageCatalog.of(sim)
         self.endpoints: Dict[int, object] = {}
         self._delivery_taps: Dict[int, List[Callable]] = {}
 
@@ -95,6 +96,30 @@ class System:
     # ------------------------------------------------------------------
     # Casting
     # ------------------------------------------------------------------
+    def _check_broadcast_destinations(self, msg: AppMessage) -> None:
+        """Broadcast protocols require the full destination set."""
+        endpoint = self.endpoints[msg.sender]
+        if hasattr(endpoint, "a_mcast"):
+            return
+        if set(msg.dest_groups) != set(self.topology.group_ids):
+            raise ValueError(
+                f"{self.protocol_name} is a broadcast protocol; "
+                f"messages must address all groups"
+            )
+
+    def _do_cast(self, msg: AppMessage) -> None:
+        """Record and hand ``msg`` to its sender's endpoint, now."""
+        endpoint = self.endpoints[msg.sender]
+        process = self.network.process(msg.sender)
+        self.catalog.intern(msg)
+        self.log.record_cast(msg)
+        self.meter.record_cast(msg.mid, process, dest_groups=msg.dest_groups,
+                               now=self.sim.now)
+        if hasattr(endpoint, "a_mcast"):
+            endpoint.a_mcast(msg)
+        else:
+            endpoint.a_bcast(msg)
+
     def cast(
         self,
         sender: int,
@@ -111,20 +136,8 @@ class System:
             dest_groups = tuple(self.topology.group_ids)
         msg = AppMessage.fresh(sender=sender, dest_groups=dest_groups,
                                payload=payload, mid=mid)
-        endpoint = self.endpoints[sender]
-        process = self.network.process(sender)
-        self.log.record_cast(msg)
-        self.meter.record_cast(msg.mid, process, dest_groups=msg.dest_groups,
-                               now=self.sim.now)
-        if hasattr(endpoint, "a_mcast"):
-            endpoint.a_mcast(msg)
-        else:
-            if set(msg.dest_groups) != set(self.topology.group_ids):
-                raise ValueError(
-                    f"{self.protocol_name} is a broadcast protocol; "
-                    f"messages must address all groups"
-                )
-            endpoint.a_bcast(msg)
+        self._check_broadcast_destinations(msg)
+        self._do_cast(msg)
         return msg
 
     def cast_at(self, time: float, sender: int, dest_groups=None,
@@ -133,26 +146,18 @@ class System:
 
         The latency meter records the cast when the event fires, so the
         caster's Lamport clock is read at the true cast instant.
+        Destination validation runs here, at scheduling time, so a
+        partial-destination cast against a broadcast protocol fails
+        loudly instead of silently reaching ``a_bcast`` mid-run.
         """
         msg = AppMessage.fresh(sender=sender,
                                dest_groups=tuple(dest_groups)
                                if dest_groups is not None
                                else tuple(self.topology.group_ids),
                                payload=payload, mid=mid)
-
-        def do_cast() -> None:
-            endpoint = self.endpoints[sender]
-            process = self.network.process(sender)
-            self.log.record_cast(msg)
-            self.meter.record_cast(msg.mid, process,
-                                   dest_groups=msg.dest_groups,
-                                   now=self.sim.now)
-            if hasattr(endpoint, "a_mcast"):
-                endpoint.a_mcast(msg)
-            else:
-                endpoint.a_bcast(msg)
-
-        self.sim.call_at(time, do_cast, label=f"cast:{msg.mid}")
+        self._check_broadcast_destinations(msg)
+        self.sim.call_at(time, lambda: self._do_cast(msg),
+                         label=f"cast:{msg.mid}")
         return msg
 
     # ------------------------------------------------------------------

@@ -4,17 +4,24 @@ The kernel executes :class:`Event` objects in nondecreasing timestamp
 order.  Ties are broken by a monotonically increasing sequence number so
 that runs are fully deterministic: two events scheduled for the same
 virtual time always execute in the order they were scheduled.
+
+Events sit on the hot path of every simulated message, so the queue's
+heap holds ``(time, seq, event)`` triples — the ``(time, seq)`` prefix
+is unique, which keeps every heap comparison inside the C tuple
+comparator instead of calling back into Python (the dataclass-generated
+``Event.__lt__`` used to dominate heap maintenance in profiles).  The
+queue also keeps an exact count of *live* (non-cancelled) events:
+:meth:`Event.cancel` reports back to its owning queue, so ``len(queue)``
+never counts tombstones still sitting in the heap.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -26,52 +33,133 @@ class Event:
         cancelled: When True the kernel skips the event.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "action", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
 
     def cancel(self) -> None:
         """Mark the event so the kernel will skip it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.3f} seq={self.seq} {self.label}{state})"
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    ``len(queue)`` is the number of *live* events: cancelled events still
+    occupy heap slots until lazily popped, but are never counted.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at virtual time ``time`` and return the event."""
-        event = Event(time=time, seq=next(self._counter), action=action, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, action, label, queue=self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
+    def push_action(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a bare, non-cancellable callback at ``time``.
+
+        Hot-path variant for callers that never cancel (the network's
+        delivery events): the heap entry holds the callable directly,
+        skipping the :class:`Event` wrapper allocation.
+        """
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+        self._live += 1
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        """Remove and return the earliest non-cancelled event, or None.
+
+        Bare actions pushed with :meth:`push_action` are wrapped in a
+        fresh :class:`Event` so callers see one uniform type.
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        time, seq, item = entry
+        if type(item) is Event:
+            return item
+        return Event(time, seq, item)
+
+    def pop_entry(self) -> Optional[tuple]:
+        """Remove and return the earliest live ``(time, seq, item)``.
+
+        ``item`` is either a live :class:`Event` or a bare callable; the
+        kernel's run loop consumes these directly to avoid per-event
+        wrapper churn.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            item = entry[2]
+            if type(item) is Event:
+                if item.cancelled:
+                    continue
+                item._queue = None  # a cancel() after firing must not count
+            self._live -= 1
+            return entry
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap:
+            head = heap[0][2]
+            if type(head) is Event and head.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
         return None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for _, _, item in self._heap:
+            if type(item) is Event:
+                item._queue = None  # orphan: cancel() must not double-count
         self._heap.clear()
+        self._live = 0
 
 
 def ordered_pair(a: Any, b: Any) -> Tuple[Any, Any]:

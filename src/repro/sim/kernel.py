@@ -51,7 +51,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued."""
+        """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
 
     # ------------------------------------------------------------------
@@ -64,6 +64,17 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self._queue.push(self._now + delay, action, label)
+
+    def schedule_action(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule a non-cancellable callback ``delay`` units from now.
+
+        Hot-path variant of :meth:`schedule` for high-volume callers
+        that never cancel (message deliveries): no :class:`Event` is
+        allocated and nothing is returned.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._queue.push_action(self._now + delay, action)
 
     def call_at(
         self, time: float, action: Callable[[], None], label: str = ""
@@ -94,14 +105,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
-        event = self._queue.pop()
-        if event is None:
+        entry = self._queue.pop_entry()
+        if entry is None:
             return False
-        if event.time < self._now:
+        time, _, item = entry
+        if time < self._now:
             raise SimulationError("event queue yielded an event in the past")
-        self._now = event.time
+        self._now = time
         self._events_executed += 1
-        event.action()
+        if type(item) is Event:
+            item.action()
+        else:
+            item()
         return True
 
     def run(
@@ -133,16 +148,27 @@ class Simulator:
                 next_time = self._queue.peek_time()
                 if next_time is None:
                     # Queue drained: give idle hooks one chance to refill.
-                    before = len(self._queue)
+                    # Re-peeking (rather than comparing counts) stays
+                    # exact even if a hook cancels stragglers while
+                    # scheduling fresh work.
                     for hook in self._idle_hooks:
                         hook()
-                    if len(self._queue) == before:
+                    if self._queue.peek_time() is None:
                         break
                     continue
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                self.step()
+                # Inline step(): peek_time() already pruned cancelled
+                # heads, so this pop returns the peeked entry without
+                # re-scanning — one call frame per event instead of three.
+                time, _, item = self._queue.pop_entry()
+                self._now = time
+                self._events_executed += 1
+                if type(item) is Event:
+                    item.action()
+                else:
+                    item()
                 executed += 1
         finally:
             self._running = False

@@ -115,7 +115,15 @@ def poisson_workload(
     """Poisson arrivals at ``rate`` messages per time unit.
 
     Senders are drawn uniformly from ``senders`` (default: everyone).
+
+    Raises:
+        ValueError: If ``rate`` is not strictly positive (expovariate
+            would otherwise fail with an opaque error mid-generation).
     """
+    if rate <= 0:
+        raise ValueError(
+            f"poisson_workload needs a positive rate, got {rate!r}"
+        )
     destinations = destinations or all_groups
     senders = list(senders) if senders is not None else topology.processes
     plans: List[CastPlan] = []

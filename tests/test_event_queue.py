@@ -1,0 +1,145 @@
+"""Cancellation semantics and determinism of the event queue.
+
+The engine refactor made ``len(queue)`` (and therefore
+``Simulator.pending_events``) track *live* events exactly: cancelled
+events still occupy heap slots until lazily pruned, but must never be
+counted, and the idle-hook refill check in ``Simulator.run`` must stay
+exact in the presence of cancelled stragglers.
+"""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+
+
+class TestLiveCount:
+    def test_cancel_excluded_from_len(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        a.cancel()
+        assert len(q) == 1
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        a.cancel()
+        a.cancel()
+        assert len(q) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        popped = q.pop()
+        assert popped is a
+        a.cancel()  # already fired; must not decrement the live count
+        assert len(q) == 1
+
+    def test_cancel_after_clear_does_not_corrupt_count(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        q.clear()
+        a.cancel()
+        q.push(1.0, lambda: None)
+        assert len(q) == 1
+
+    def test_push_action_counts_and_pops(self):
+        q = EventQueue()
+        fired = []
+        q.push_action(1.0, lambda: fired.append("x"))
+        assert len(q) == 1
+        event = q.pop()
+        assert isinstance(event, Event)
+        event.action()
+        assert fired == ["x"] and len(q) == 0
+
+    def test_pending_events_exact_after_cancel(self):
+        sim = Simulator()
+        keep = sim.schedule(5.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.time == 5.0
+
+
+class TestDeterminism:
+    def test_same_time_fires_in_scheduling_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcdef":
+            q.push(3.0, lambda n=name: fired.append(n))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == list("abcdef")
+
+    def test_mixed_event_and_action_entries_keep_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("event"))
+        q.push_action(1.0, lambda: fired.append("action"))
+        q.push(1.0, lambda: fired.append("event2"))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["event", "action", "event2"]
+
+    def test_cancelled_head_skipped_by_pop_and_peek(self):
+        q = EventQueue()
+        head = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        head.cancel()
+        assert q.peek_time() == 2.0
+        assert q.pop().time == 2.0
+
+
+class TestIdleHookRefill:
+    def test_refill_runs_after_cancelled_stragglers(self):
+        """Cancelled stragglers leave tombstones in the heap; the idle
+        refill check must look through them — the hook still runs, and
+        its freshly scheduled work still fires."""
+        sim = Simulator()
+        fired = []
+        straggler = sim.schedule(50.0, lambda: fired.append("straggler"))
+        refills = [0]
+
+        def hook():
+            if refills[0] == 0:
+                refills[0] += 1
+                straggler.cancel()
+                sim.schedule(1.0, lambda: fired.append("refill"))
+
+        sim.add_idle_hook(hook)
+        sim.schedule(1.0, lambda: (fired.append("first"), straggler.cancel()))
+        sim.run()
+        assert fired == ["first", "refill"]
+
+    def test_idle_hook_not_rerun_when_it_schedules_nothing(self):
+        sim = Simulator()
+        calls = [0]
+
+        def hook():
+            calls[0] += 1
+
+        sim.add_idle_hook(hook)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert calls[0] == 1
+
+    def test_run_drains_despite_cancelled_tail(self):
+        sim = Simulator()
+        tail = [sim.schedule(10.0 + i, lambda: None) for i in range(5)]
+        for event in tail:
+            event.cancel()
+        end = sim.run()
+        assert sim.pending_events == 0
+        assert end == 0.0  # nothing live ever fired
+
+    def test_run_until_quiescent_ignores_cancelled_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        zombie = sim.schedule(2.0, lambda: None)
+        zombie.cancel()
+        sim.run_until_quiescent()
+        assert sim.pending_events == 0

@@ -73,6 +73,24 @@ class TestSystemCasting:
         with pytest.raises(ValueError, match="broadcast protocol"):
             system.cast(sender=0, dest_groups=(0,))
 
+    def test_cast_at_rejects_partial_destinations_for_broadcast(self):
+        """cast_at applies the same validation as cast, at scheduling
+        time — a partial destination set must not silently reach
+        a_bcast when the event fires."""
+        system = build_system(protocol="sequencer", group_sizes=[2, 2],
+                              seed=1)
+        with pytest.raises(ValueError, match="broadcast protocol"):
+            system.cast_at(1.0, 0, dest_groups=(0,))
+        system.run_quiescent()
+        assert system.log.cast_messages() == {}
+
+    def test_cast_at_accepts_full_destinations_for_broadcast(self):
+        system = build_system(protocol="sequencer", group_sizes=[2, 2],
+                              seed=1)
+        msg = system.cast_at(1.0, 0, dest_groups=(0, 1))
+        system.run_quiescent()
+        assert msg.mid in system.log.cast_messages()
+
     def test_cast_at_meters_at_fire_time(self):
         system = build_system(protocol="a1", group_sizes=[2, 2], seed=1)
         msg = system.cast_at(5.0, 0, (0, 1))

@@ -78,6 +78,12 @@ class TestArrivalProcesses:
         b = poisson_workload(TOPO, random.Random(7), rate=1.0, duration=10.0)
         assert a == b
 
+    def test_poisson_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="positive rate.*0.0"):
+            poisson_workload(TOPO, random.Random(1), rate=0.0, duration=10.0)
+        with pytest.raises(ValueError, match="positive rate.*-3"):
+            poisson_workload(TOPO, random.Random(1), rate=-3, duration=10.0)
+
     def test_periodic_spacing_and_round_robin(self):
         plans = periodic_workload(TOPO, period=2.0, count=4,
                                   senders=[0, 3])
