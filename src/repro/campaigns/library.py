@@ -1,0 +1,168 @@
+"""Built-in campaign matrices.
+
+Four ready-made campaigns cover the axes the paper's claims range over:
+
+* ``wan-storm`` — A1 under WAN latency sweeps (link delay × arrival
+  rate), the Pod-style wide-area evaluation grid;
+* ``crash-storm`` — the paper's protocols under seed-derived
+  strict-minority crash schedules of varying aggressiveness;
+* ``zipf-fanout`` — mostly-local Zipf destination traffic as the group
+  count grows, the partial-replication access pattern that motivates
+  genuine multicast;
+* ``cross-protocol`` — one workload plan driven through A1 and every
+  baseline, property-checked on each: the strongest cross-validation
+  the repository offers, now as a single declarative matrix.
+
+Each builder returns a :class:`Campaign`; pass ``seeds`` to widen or
+narrow the per-scenario seed list (the CLI's ``--seeds`` does).
+``repro.cli campaign <name>`` is the front door.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.campaigns.runner import Campaign
+from repro.campaigns.spec import (
+    CrashSpec,
+    DestinationSpec,
+    LatencySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    matrix,
+)
+
+DEFAULT_SEEDS: Tuple[int, ...] = (1, 2)
+
+
+def wan_storm(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """A1 across a WAN grid: inter-group delay × Poisson arrival rate."""
+    base = ScenarioSpec(
+        name="wan",
+        protocol="a1",
+        group_sizes=(3, 3, 3),
+        latency=LatencySpec.wan(intra_ms=1.0, inter_ms=100.0,
+                                inter_jitter_ms=2.0),
+        workload=WorkloadSpec(
+            kind="poisson", rate=0.01, duration=3_000.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        checkers=("properties", "genuineness"),
+    )
+    scenarios = matrix(base, {
+        "latency.inter_ms": [50.0, 100.0, 200.0],
+        "workload.rate": [0.005, 0.02],
+    })
+    return Campaign(
+        name="wan-storm", scenarios=scenarios,
+        description="A1 genuine multicast over a WAN latency x rate grid",
+    )
+
+
+def crash_storm(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """Protocols under seed-derived strict-minority crash schedules."""
+    base = ScenarioSpec(
+        name="crash",
+        protocol="a1",
+        group_sizes=(3, 3),
+        workload=WorkloadSpec(kind="periodic", period=2.0, count=12),
+        crashes=CrashSpec(kind="random-minority", window=30.0,
+                          probability=0.8),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        checkers=("properties",),
+    )
+    scenarios = matrix(base, {
+        "protocol": ["a1", "a1-noskip", "a2"],
+        "crashes.window": [15.0, 30.0],
+    })
+    return Campaign(
+        name="crash-storm", scenarios=scenarios,
+        description="uniformity under random minority crashes, "
+                    "two crash-window aggressiveness levels",
+    )
+
+
+def zipf_fanout(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """Zipf-skewed destination counts as the system gains groups."""
+    base = ScenarioSpec(
+        name="zipf",
+        protocol="a1",
+        group_sizes=(2, 2, 2),
+        workload=WorkloadSpec(
+            kind="poisson", rate=0.5, duration=20.0,
+            destinations=DestinationSpec(kind="zipf", max_k=3, skew=1.5),
+        ),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        checkers=("properties", "genuineness"),
+    )
+    scenarios = matrix(base, {
+        "group_sizes": [(2, 2, 2), (2, 2, 2, 2), (2, 2, 2, 2, 2)],
+        "workload.destinations.skew": [1.0, 2.0],
+    })
+    return Campaign(
+        name="zipf-fanout", scenarios=scenarios,
+        description="mostly-local Zipf traffic; genuineness must keep "
+                    "bystander groups silent as the system grows",
+    )
+
+
+def cross_protocol(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """One workload, A1 vs every baseline, same laws checked on each."""
+    seeds = tuple(seeds or DEFAULT_SEEDS)
+    mcast_base = ScenarioSpec(
+        name="mcast",
+        group_sizes=(2, 2, 2),
+        workload=WorkloadSpec(
+            kind="poisson", rate=1.2, duration=80.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        seeds=seeds,
+        checkers=("properties", "genuineness"),
+    )
+    bcast_base = ScenarioSpec(
+        name="bcast",
+        group_sizes=(2, 2),
+        workload=WorkloadSpec(kind="poisson", rate=0.8, duration=80.0),
+        seeds=seeds,
+        checkers=("properties",),
+    )
+    scenarios = (
+        matrix(mcast_base, {"protocol": ["a1", "a1-noskip", "skeen",
+                                         "fritzke", "ring", "global"]})
+        + matrix(bcast_base, {"protocol": ["a2", "sequencer",
+                                           "optimistic", "detmerge"]})
+    )
+    return Campaign(
+        name="cross-protocol", scenarios=scenarios,
+        description="A1 and nine related-work protocols under one shared "
+                    "workload plan, paper properties checked on every run",
+    )
+
+
+CampaignBuilder = Callable[..., Campaign]
+
+CAMPAIGNS: Dict[str, CampaignBuilder] = {
+    "wan-storm": wan_storm,
+    "crash-storm": crash_storm,
+    "zipf-fanout": zipf_fanout,
+    "cross-protocol": cross_protocol,
+}
+
+CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
+    "wan-storm": "A1 over a WAN latency x arrival-rate grid (6 scenarios)",
+    "crash-storm": "protocol x crash-window matrix under random minority "
+                   "crashes (6 scenarios)",
+    "zipf-fanout": "Zipf destination skew x group count (6 scenarios)",
+    "cross-protocol": "A1 vs nine baselines on one workload (10 scenarios)",
+}
+
+
+def get_campaign(name: str,
+                 seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """Look a built-in campaign up by name."""
+    if name not in CAMPAIGNS:
+        raise KeyError(
+            f"unknown campaign {name!r}; have {sorted(CAMPAIGNS)}"
+        )
+    return CAMPAIGNS[name](seeds=seeds)

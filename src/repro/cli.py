@@ -4,18 +4,30 @@ Usage::
 
     python -m repro.cli                 # run every experiment, print all
     python -m repro.cli fig1 theorems   # run a subset
-    python -m repro.cli --list          # show available experiments
+    python -m repro.cli --list          # show experiments AND campaigns
+
+    python -m repro.cli campaign cross-protocol --jobs 4
+    python -m repro.cli campaign wan-storm --seeds 1,2,3 --out results/
+    python -m repro.cli campaign crash-storm --jobs 8 --compare-serial
 
 Each experiment prints the same rows/series the paper reports (or that
 our extension sections define); the benchmark suite asserts the shapes,
 this CLI is for eyeballing and for regenerating EXPERIMENTS.md.
+
+The ``campaign`` verb executes a built-in scenario matrix
+(:mod:`repro.campaigns.library`) over ``--jobs`` worker processes,
+writes ``CAMPAIGN_<name>.json`` plus a markdown summary into ``--out``,
+and exits non-zero if any property/genuineness checker failed.
+``--compare-serial`` re-runs the campaign with one job, asserts the
+per-seed metrics are identical, and records the measured speedup in the
+JSON artefact.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 def _fig1() -> str:
@@ -97,20 +109,141 @@ DESCRIPTIONS = {
 }
 
 
+def _print_listing() -> None:
+    from repro.campaigns.library import CAMPAIGN_DESCRIPTIONS
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name:14s} {DESCRIPTIONS[name]}")
+    print()
+    print("campaigns (python -m repro.cli campaign <name>):")
+    for name, description in CAMPAIGN_DESCRIPTIONS.items():
+        print(f"  {name:14s} {description}")
+
+
+def _parse_seeds(parser: argparse.ArgumentParser,
+                 text: Optional[str]) -> Optional[List[int]]:
+    """Parse ``--seeds``; malformed values are usage errors (exit 2)."""
+    if text is None:
+        return None
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated ints: {text!r}")
+    if not seeds:
+        parser.error("--seeds must name at least one seed")
+    # Results are keyed by (scenario, seed): a repeated seed would pay
+    # for a run whose result collapses onto the first one.
+    return list(dict.fromkeys(seeds))
+
+
+def campaign_main(argv: List[str]) -> int:
+    """The ``campaign`` verb: run built-in scenario matrices."""
+    from repro.campaigns.library import CAMPAIGNS, get_campaign
+    from repro.campaigns.runner import CampaignRunner, verify_determinism
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli campaign",
+        description="Run a declarative scenario matrix over worker "
+                    "processes and persist CAMPAIGN_<name>.json.",
+    )
+    parser.add_argument("names", nargs="*",
+                        help="campaign names (default: all built-ins)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--seeds", type=str, default=None, metavar="CSV",
+                        help="comma-separated seed override, e.g. 1,2,3")
+    parser.add_argument("--out", type=str, default=".", metavar="DIR",
+                        help="directory for CAMPAIGN_*.json artefacts")
+    parser.add_argument("--max-scenarios", type=int, default=None,
+                        metavar="K",
+                        help="truncate each matrix to its first K "
+                             "scenarios (smoke runs)")
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="re-run with --jobs 1, assert per-seed "
+                             "metrics identical, record the speedup")
+    parser.add_argument("--list", action="store_true",
+                        help="list built-in campaigns and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_listing()
+        return 0
+
+    chosen = args.names or list(CAMPAIGNS)
+    unknown = [name for name in chosen if name not in CAMPAIGNS]
+    if unknown:
+        print(f"unknown campaign(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(CAMPAIGNS)}", file=sys.stderr)
+        return 2
+
+    seeds = _parse_seeds(parser, args.seeds)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_scenarios is not None and args.max_scenarios < 1:
+        parser.error(
+            f"--max-scenarios must be >= 1, got {args.max_scenarios}"
+        )
+    status = 0
+    for name in chosen:
+        campaign = get_campaign(name, seeds=seeds)
+        if args.max_scenarios is not None:
+            campaign.scenarios = campaign.scenarios[:args.max_scenarios]
+        runner = CampaignRunner(campaign, jobs=args.jobs)
+        result = runner.run()
+        extra = None
+        if args.compare_serial:
+            import os
+
+            serial = CampaignRunner(runner.campaign, jobs=1).run()
+            verify_determinism(result, serial)
+            baseline = {
+                "wall_seconds": round(serial.wall_seconds, 4),
+                "speedup": round(serial.wall_seconds
+                                 / max(result.wall_seconds, 1e-9), 2),
+                "per_seed_metrics_identical": True,
+            }
+            if (os.cpu_count() or 1) < 2 <= args.jobs:
+                baseline["note"] = (
+                    "single-CPU host: workers time-share one core, so "
+                    "no wall-clock speedup is physically available here"
+                )
+            extra = {"serial_baseline": baseline}
+        path = result.write(args.out, extra=extra)
+        print(result.markdown_summary())
+        if extra:
+            print(f"\nserial wall {extra['serial_baseline']['wall_seconds']}s"
+                  f" vs jobs={args.jobs} wall {result.wall_seconds:.2f}s "
+                  f"-> speedup {extra['serial_baseline']['speedup']}x "
+                  f"(per-seed metrics identical)")
+        print(f"\nwrote {path}")
+        if not result.all_checkers_ok:
+            for scenario, seed, checker, verdict in result.failures():
+                print(f"CHECKER FAILED: {scenario} seed={seed} "
+                      f"{checker}: {verdict}", file=sys.stderr)
+            status = 1
+        print()
+    return status
+
+
 def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
-        description="Regenerate the paper's tables, figures and runs.",
+        description="Regenerate the paper's tables, figures and runs. "
+                    "Use the 'campaign' verb to run scenario matrices.",
     )
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true",
-                        help="list available experiments and exit")
+                        help="list available experiments and campaigns")
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in EXPERIMENTS:
-            print(f"{name:14s} {DESCRIPTIONS[name]}")
+        _print_listing()
         return 0
 
     chosen = args.experiments or list(EXPERIMENTS)

@@ -20,17 +20,24 @@ rate:
 The paper's claim shows up as a knee around 10 msg/s: above it, rounds
 stay warm (degree ~1, useful fraction ~1); below it, the algorithm
 keeps going quiescent and most messages pay the restart penalty.
+
+This experiment runs on the campaign engine: each sweep point is a
+declarative :class:`~repro.campaigns.spec.ScenarioSpec`
+(:func:`rate_scenario`), the sweep itself is a
+:class:`~repro.campaigns.runner.Campaign`, and :func:`sweep` accepts
+``jobs`` to fan points out over worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence
 
-from repro.net.topology import LatencyModel
-from repro.runtime.builder import build_system
-from repro.runtime.results import Row, format_table
-from repro.workload.generators import poisson_workload, schedule_workload
+from repro.campaigns.runner import Campaign, CampaignRunner, run_scenario_seed
+from repro.campaigns.spec import LatencySpec, ScenarioSpec, WorkloadSpec
+
+#: Metric extractors every rate point needs.
+RATE_METRICS = ("degrees", "latency", "rounds")
 
 
 @dataclass
@@ -45,6 +52,41 @@ class RatePoint:
     mean_latency_ms: float
 
 
+def rate_scenario(
+    rate_per_s: float,
+    duration_ms: float = 20_000.0,
+    group_sizes=(3, 3),
+    inter_ms: float = 100.0,
+    seeds: Sequence[int] = (1,),
+) -> ScenarioSpec:
+    """Declare one sweep point.  Time unit = 1 ms."""
+    return ScenarioSpec(
+        name=f"rate={rate_per_s:g}",
+        protocol="a2",
+        group_sizes=tuple(group_sizes),
+        latency=LatencySpec.wan(intra_ms=1.0, inter_ms=inter_ms,
+                                inter_jitter_ms=2.0),
+        workload=WorkloadSpec(kind="poisson", rate=rate_per_s / 1000.0,
+                              duration=duration_ms),
+        seeds=tuple(seeds),
+        checkers=("properties",),
+        metrics=RATE_METRICS,
+        protocol_kwargs=(("propose_delay", 5.0),),
+    )
+
+
+def _point_from_metrics(rate_per_s: float,
+                        metrics: Dict[str, float]) -> RatePoint:
+    return RatePoint(
+        rate_per_s=rate_per_s,
+        messages=int(metrics["metered"]),
+        degree1_fraction=metrics["degree_le1_fraction"],
+        mean_degree=metrics["degree_mean"],
+        useful_round_fraction=metrics["useful_round_fraction"],
+        mean_latency_ms=metrics.get("latency_mean_mean", 0.0),
+    )
+
+
 def run_rate_point(
     rate_per_s: float,
     seed: int = 1,
@@ -52,51 +94,49 @@ def run_rate_point(
     group_sizes=(3, 3),
     inter_ms: float = 100.0,
 ) -> RatePoint:
-    """One sweep point.  Time unit = 1 ms."""
-    system = build_system(
-        protocol="a2", group_sizes=list(group_sizes), seed=seed,
-        latency=LatencyModel.wan(intra_ms=1.0, inter_ms=inter_ms,
-                                 inter_jitter_ms=2.0),
-        propose_delay=5.0,
-    )
-    plans = poisson_workload(
-        system.topology, system.rng.stream("wl"),
-        rate=rate_per_s / 1000.0,  # per ms
-        duration=duration_ms,
-    )
-    messages = schedule_workload(system, plans)
-    system.run_quiescent()
+    """One sweep point, executed on the campaign engine."""
+    spec = rate_scenario(rate_per_s, duration_ms=duration_ms,
+                         group_sizes=group_sizes, inter_ms=inter_ms)
+    result = run_scenario_seed(spec, seed)
+    if not result.ok:
+        raise RuntimeError(f"checker failure at rate {rate_per_s}: "
+                           f"{result.checkers}")
+    return _point_from_metrics(rate_per_s, result.metrics)
 
-    degrees = [system.meter.latency_degree(m.mid) for m in messages]
-    degrees = [d for d in degrees if d is not None]
-    latencies = [
-        system.meter.record_for(m.mid).mean_delivery_latency
-        for m in messages
-        if system.meter.record_for(m.mid).mean_delivery_latency is not None
-    ]
-    endpoint = system.endpoints[0]
-    useful = (endpoint.useful_rounds / endpoint.rounds_executed
-              if endpoint.rounds_executed else 0.0)
-    return RatePoint(
-        rate_per_s=rate_per_s,
-        messages=len(degrees),
-        degree1_fraction=(sum(1 for d in degrees if d <= 1) / len(degrees)
-                          if degrees else 0.0),
-        mean_degree=(sum(degrees) / len(degrees) if degrees else 0.0),
-        useful_round_fraction=useful,
-        mean_latency_ms=(sum(latencies) / len(latencies)
-                         if latencies else 0.0),
+
+def rate_sweep_campaign(
+    rates: Sequence[float] = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
+    seed: int = 1,
+    duration_ms: float = 20_000.0,
+) -> Campaign:
+    """The full Section 5.3 sweep as a declarative campaign."""
+    return Campaign(
+        name="rate-sweep",
+        scenarios=[rate_scenario(rate, duration_ms=duration_ms,
+                                 seeds=(seed,))
+                   for rate in rates],
+        description="Section 5.3 A2 broadcast-rate sweep (100 ms WAN)",
     )
 
 
 def sweep(rates=(0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
-          seed: int = 1) -> List[RatePoint]:
-    """The full Section 5.3 sweep."""
-    return [run_rate_point(rate, seed=seed) for rate in rates]
+          seed: int = 1, jobs: int = 1) -> List[RatePoint]:
+    """The full Section 5.3 sweep (``jobs > 1`` parallelises points)."""
+    campaign = rate_sweep_campaign(rates, seed=seed)
+    result = CampaignRunner(campaign, jobs=jobs).run()
+    if not result.all_checkers_ok:
+        raise RuntimeError(f"checker failures: {result.failures()}")
+    return [
+        _point_from_metrics(rate,
+                            result.result(spec.name, seed).metrics)
+        for rate, spec in zip(rates, campaign.scenarios)
+    ]
 
 
 def rate_table(points: List[RatePoint] = None) -> str:
     """Render the sweep."""
+    from repro.runtime.results import Row, format_table
+
     points = points or sweep()
     rows = [
         Row(label=f"{p.rate_per_s:g} msg/s",

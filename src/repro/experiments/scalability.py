@@ -6,20 +6,34 @@ and measure, per algorithm, the inter-group messages per application
 message and the (simulated) delivery latency.  The asymptotic claims —
 O(k²d²) for A1, O(kd²) for the ring, O(n²) for A2's rounds — appear as
 the growth rates of the measured columns.
+
+Like :mod:`repro.experiments.rate_sweep`, this experiment is ported to
+the campaign engine: :func:`scale_scenario` declares one (protocol,
+groups, d) point, the sweeps run through a
+:class:`~repro.campaigns.runner.CampaignRunner`, and ``jobs > 1``
+spreads points over worker processes.
+
+One deliberate behaviour change versus the pre-campaign version: the
+uniform-k destination draws now come from the seed-derived ``"wl"``
+stream (previously an implicit fixed ``random.Random(0)``), so
+different seeds genuinely vary the destination pattern.  Absolute
+table values at >2 groups shift slightly; the asymptotic growth rates
+the benchmarks assert are unaffected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.runtime.builder import build_system
-from repro.runtime.results import Row, format_table
-from repro.workload.generators import (
-    periodic_workload,
-    schedule_workload,
-    uniform_k_groups,
-)
+from repro.campaigns.runner import Campaign, CampaignRunner, run_scenario_seed
+from repro.campaigns.spec import DestinationSpec, ScenarioSpec, WorkloadSpec
+
+#: Broadcast protocols must address every group.
+BROADCAST_PROTOCOLS = ("a2", "nongenuine", "sequencer", "optimistic",
+                       "detmerge")
+
+SCALE_METRICS = ("latency", "traffic")
 
 
 @dataclass
@@ -35,56 +49,95 @@ class ScalePoint:
     mean_worst_latency: float
 
 
-def run_scale_point(protocol: str, groups: int, d: int, seed: int = 1,
-                    count: int = 10) -> ScalePoint:
-    """A steady workload at one system size."""
-    kwargs = {"propose_delay": 0.05} if protocol in ("a2", "nongenuine") \
-        else {}
-    system = build_system(protocol=protocol, group_sizes=[d] * groups,
-                          seed=seed, **kwargs)
-    system.start_rounds()
-    if protocol in ("a2", "nongenuine", "sequencer", "optimistic",
-                    "detmerge"):
-        destinations = None  # broadcast protocols address everyone
-    else:
-        destinations = uniform_k_groups(2)
-    plans = periodic_workload(system.topology, period=0.9, count=count,
-                              destinations=destinations)
-    msgs = schedule_workload(system, plans)
-    system.run_quiescent()
-    latencies = [
-        system.meter.record_for(m.mid).worst_delivery_latency
-        for m in msgs
-        if system.meter.record_for(m.mid).worst_delivery_latency is not None
-    ]
+def scale_scenario(protocol: str, groups: int, d: int,
+                   count: int = 10,
+                   seeds: Sequence[int] = (1,)) -> ScenarioSpec:
+    """Declare a steady workload at one system size."""
+    kwargs: Tuple[Tuple[str, object], ...] = (
+        (("propose_delay", 0.05),) if protocol in ("a2", "nongenuine")
+        else ()
+    )
+    destinations = (DestinationSpec(kind="all")
+                    if protocol in BROADCAST_PROTOCOLS
+                    else DestinationSpec(kind="uniform-k", k=2))
+    return ScenarioSpec(
+        name=f"{protocol}@{groups}x{d}",
+        protocol=protocol,
+        group_sizes=(d,) * groups,
+        workload=WorkloadSpec(kind="periodic", period=0.9, count=count,
+                              destinations=destinations),
+        seeds=tuple(seeds),
+        checkers=("properties",),
+        metrics=SCALE_METRICS,
+        start_rounds=True,
+        protocol_kwargs=kwargs,
+    )
+
+
+def _point_from_metrics(protocol: str, groups: int, d: int,
+                        metrics: Dict[str, float]) -> ScalePoint:
+    planned = int(metrics["planned_casts"])
     return ScalePoint(
         protocol=protocol,
         groups=groups,
         d=d,
-        messages=len(msgs),
-        inter_per_msg=system.inter_group_messages / len(msgs),
-        intra_per_msg=system.intra_group_messages / len(msgs),
-        mean_worst_latency=(sum(latencies) / len(latencies)
-                            if latencies else 0.0),
+        messages=planned,
+        inter_per_msg=metrics["inter_group_messages"] / planned,
+        intra_per_msg=metrics["intra_group_messages"] / planned,
+        mean_worst_latency=metrics.get("latency_worst_mean", 0.0),
     )
 
 
+def run_scale_point(protocol: str, groups: int, d: int, seed: int = 1,
+                    count: int = 10) -> ScalePoint:
+    """A steady workload at one system size, via the campaign engine."""
+    spec = scale_scenario(protocol, groups, d, count=count)
+    result = run_scenario_seed(spec, seed)
+    if not result.ok:
+        raise RuntimeError(f"checker failure at {spec.name}: "
+                           f"{result.checkers}")
+    return _point_from_metrics(protocol, groups, d, result.metrics)
+
+
+def _run_points(points: List[Tuple[str, int, int]], seed: int,
+                jobs: int = 1) -> List[ScalePoint]:
+    """Run many (protocol, groups, d) points as one campaign."""
+    campaign = Campaign(
+        name="scalability",
+        scenarios=[scale_scenario(p, g, d, seeds=(seed,))
+                   for p, g, d in points],
+        description="group-count / group-size sweeps of Figure 1",
+    )
+    result = CampaignRunner(campaign, jobs=jobs).run()
+    if not result.all_checkers_ok:
+        raise RuntimeError(f"checker failures: {result.failures()}")
+    return [
+        _point_from_metrics(p, g, d,
+                            result.result(spec.name, seed).metrics)
+        for (p, g, d), spec in zip(points, campaign.scenarios)
+    ]
+
+
 def sweep_groups(protocol: str, group_counts=(2, 4, 6), d: int = 2,
-                 seed: int = 1) -> Dict[int, ScalePoint]:
+                 seed: int = 1, jobs: int = 1) -> Dict[int, ScalePoint]:
     """Grow the number of groups at fixed group size."""
-    return {g: run_scale_point(protocol, g, d, seed)
-            for g in group_counts}
+    points = _run_points([(protocol, g, d) for g in group_counts],
+                         seed, jobs=jobs)
+    return dict(zip(group_counts, points))
 
 
 def sweep_group_size(protocol: str, sizes=(2, 3, 4), groups: int = 2,
-                     seed: int = 1) -> Dict[int, ScalePoint]:
+                     seed: int = 1, jobs: int = 1) -> Dict[int, ScalePoint]:
     """Grow the group size at a fixed group count."""
-    return {d: run_scale_point(protocol, groups, d, seed)
-            for d in sizes}
+    points = _run_points([(protocol, groups, d) for d in sizes],
+                         seed, jobs=jobs)
+    return dict(zip(sizes, points))
 
 
 def scalability_table(seed: int = 1) -> str:
     """Render the group-count sweep for the headline protocols."""
+    from repro.runtime.results import Row, format_table
+
     rows: List[Row] = []
     for protocol in ("a1", "ring", "a2"):
         points = sweep_groups(protocol, seed=seed)

@@ -44,10 +44,18 @@ class CrashSchedule:
     def validate(self, topology: Topology, require_majority: bool = True) -> None:
         """Check the schedule against the paper's assumptions.
 
-        Raises ValueError when a group loses all members, or (when
+        Raises ValueError when the schedule names a process outside the
+        topology, when a group loses all members, or (when
         ``require_majority``) when a group loses its majority — Paxos
         inside that group would lose liveness.
         """
+        known = set(topology.processes)
+        strangers = sorted(pid for pid in self.crashes if pid not in known)
+        if strangers:
+            raise ValueError(
+                f"crash schedule names unknown process(es) {strangers}; "
+                f"topology has {topology.n_processes} processes"
+            )
         for gid in topology.group_ids:
             members = topology.members(gid)
             faulty = [p for p in members if p in self.crashes]

@@ -69,6 +69,25 @@ class RunReport:
             hist[rec.latency_degree] = hist.get(rec.latency_degree, 0) + 1
         return dict(sorted(hist.items()))
 
+    def degree_summary(self) -> Dict[str, float]:
+        """Flat latency-degree statistics for metric aggregation.
+
+        The campaign engine consumes this shape directly; ``metered``
+        counts messages whose degree was measurable (delivered at every
+        metered replica).
+        """
+        degrees = [rec.latency_degree for rec in self._records]
+        if not degrees:
+            return {"metered": 0.0, "degree_mean": 0.0,
+                    "degree_max": 0.0, "degree_le1_fraction": 0.0}
+        return {
+            "metered": float(len(degrees)),
+            "degree_mean": sum(degrees) / len(degrees),
+            "degree_max": float(max(degrees)),
+            "degree_le1_fraction":
+                sum(1 for d in degrees if d <= 1) / len(degrees),
+        }
+
     def degree_by_destination_count(self) -> Dict[int, Dict[int, int]]:
         """|dest| -> (degree -> count); the paper's k-dependence."""
         out: Dict[int, Dict[int, int]] = {}

@@ -151,7 +151,22 @@ def periodic_workload(
     rng: Optional[random.Random] = None,
 ) -> List[CastPlan]:
     """``count`` casts spaced exactly ``period`` apart, round-robin
-    over ``senders``."""
+    over ``senders``.
+
+    Raises:
+        ValueError: If ``period`` is not strictly positive or ``count``
+            is negative (matching :func:`poisson_workload`'s guard —
+            a zero period would stack every cast on one instant by
+            accident, and a negative count silently yields nothing).
+    """
+    if period <= 0:
+        raise ValueError(
+            f"periodic_workload needs a positive period, got {period!r}"
+        )
+    if count < 0:
+        raise ValueError(
+            f"periodic_workload needs a non-negative count, got {count!r}"
+        )
     destinations = destinations or all_groups
     senders = list(senders) if senders is not None else topology.processes
     rng = rng or random.Random(0)
@@ -179,7 +194,29 @@ def burst_workload(
 ) -> List[CastPlan]:
     """Bursty traffic: ``bursts`` clumps of ``burst_size`` casts,
     separated by idle ``gap`` — the adversarial pattern for quiescence
-    prediction (paper Section 5.3)."""
+    prediction (paper Section 5.3).
+
+    Raises:
+        ValueError: If ``bursts``/``burst_size`` is not strictly
+            positive, or ``gap``/``spread`` is negative (matching
+            :func:`poisson_workload`'s guard).
+    """
+    if bursts <= 0:
+        raise ValueError(
+            f"burst_workload needs a positive burst count, got {bursts!r}"
+        )
+    if burst_size <= 0:
+        raise ValueError(
+            f"burst_workload needs a positive burst size, got {burst_size!r}"
+        )
+    if gap < 0:
+        raise ValueError(
+            f"burst_workload needs a non-negative gap, got {gap!r}"
+        )
+    if spread < 0:
+        raise ValueError(
+            f"burst_workload needs a non-negative spread, got {spread!r}"
+        )
     destinations = destinations or all_groups
     senders = list(senders) if senders is not None else topology.processes
     plans: List[CastPlan] = []

@@ -1,0 +1,114 @@
+"""CLI behaviour: listings, unknown-name exits, the campaign verb."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestListing:
+    def test_list_enumerates_experiments_and_campaigns(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "campaigns" in out
+        for name in ("wan-storm", "crash-storm", "zipf-fanout",
+                     "cross-protocol"):
+            assert name in out
+
+    def test_campaign_list_flag(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-protocol" in out and "wan-storm" in out
+
+
+class TestUnknownNames:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["no-such-experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment(s): no-such-experiment" in err
+        assert "available:" in err
+
+    def test_unknown_experiment_mixed_with_known_exits_2(self, capsys):
+        assert main(["fig1", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_campaign_exits_2(self, capsys):
+        assert main(["campaign", "no-such-campaign"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign(s): no-such-campaign" in err
+        assert "available:" in err
+
+    def test_bad_seeds_are_usage_errors(self):
+        """Exit 2 (usage), never 1 (reserved for checker failures)."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "wan-storm", "--seeds", "1,x"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "wan-storm", "--seeds", ","])
+        assert excinfo.value.code == 2
+
+    def test_nonpositive_jobs_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "wan-storm", "--jobs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_duplicate_seeds_deduplicated(self, tmp_path):
+        status = main([
+            "campaign", "cross-protocol", "--seeds", "2,2,2",
+            "--max-scenarios", "1", "--out", str(tmp_path),
+        ])
+        assert status == 0
+        data = json.loads(
+            (tmp_path / "CAMPAIGN_cross-protocol.json").read_text())
+        assert data["task_count"] == 1
+
+    def test_nonpositive_max_scenarios_is_usage_error(self):
+        """A zero-scenario 'campaign' would write a vacuously green
+        artifact; reject it up front."""
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["campaign", "wan-storm", "--max-scenarios", bad])
+            assert excinfo.value.code == 2
+
+
+class TestCampaignVerb:
+    def test_smoke_campaign_writes_artifacts(self, tmp_path, capsys):
+        status = main([
+            "campaign", "cross-protocol", "--jobs", "2", "--seeds", "3",
+            "--max-scenarios", "2", "--out", str(tmp_path),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Campaign `cross-protocol`" in out
+        json_path = tmp_path / "CAMPAIGN_cross-protocol.json"
+        md_path = tmp_path / "CAMPAIGN_cross-protocol.md"
+        assert json_path.exists() and md_path.exists()
+        data = json.loads(json_path.read_text())
+        assert data["campaign"] == "cross-protocol"
+        assert data["jobs"] == 2
+        assert data["scenario_count"] == 2
+        assert data["all_checkers_ok"] is True
+        for scenario in data["scenarios"].values():
+            assert set(scenario["seeds"]) == {"3"}
+            for seed_result in scenario["seeds"].values():
+                assert seed_result["checkers"]
+                assert all(v == "ok"
+                           for v in seed_result["checkers"].values())
+
+    def test_compare_serial_records_speedup(self, tmp_path):
+        status = main([
+            "campaign", "zipf-fanout", "--jobs", "2", "--seeds", "1",
+            "--max-scenarios", "2", "--out", str(tmp_path),
+            "--compare-serial",
+        ])
+        assert status == 0
+        data = json.loads(
+            (tmp_path / "CAMPAIGN_zipf-fanout.json").read_text())
+        baseline = data["serial_baseline"]
+        assert baseline["per_seed_metrics_identical"] is True
+        assert baseline["wall_seconds"] > 0
+        assert baseline["speedup"] > 0

@@ -1,0 +1,89 @@
+"""Boundary cases of :meth:`CrashSchedule.validate` and friends.
+
+The validator guards the paper's system-model assumptions (at least one
+correct process per group; a correct majority per group for Paxos
+liveness), so its edges — exact majority loss, whole-group loss, empty
+schedules, strangers — deserve explicit pinning: campaign crash specs
+lean on it to fail fast instead of wedging a worker process mid-run.
+"""
+
+import random
+
+import pytest
+
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import Topology
+
+
+class TestValidateBoundaries:
+    def test_empty_schedule_always_validates(self):
+        CrashSchedule.none().validate(Topology([1]))
+        CrashSchedule.none().validate(Topology([3, 3, 3]))
+        CrashSchedule({}).validate(Topology([2, 2]))
+
+    def test_strict_minority_is_accepted(self):
+        # Group of 3: one crash leaves 2/3 correct — a strict majority.
+        CrashSchedule({0: 1.0}).validate(Topology([3, 3]))
+
+    def test_exact_majority_crash_is_rejected(self):
+        # Group of 4: two crashes leave 2/4 — exactly half, no majority.
+        schedule = CrashSchedule({0: 1.0, 1: 2.0})
+        with pytest.raises(ValueError, match="group 0 loses its majority"):
+            schedule.validate(Topology([4, 3]))
+
+    def test_half_of_even_group_rejected_but_allowed_without_majority(self):
+        schedule = CrashSchedule({2: 1.0})  # group 1 = {2, 3}: 1/2 left
+        with pytest.raises(ValueError, match="group 1 loses its majority"):
+            schedule.validate(Topology([2, 2]))
+        # The paper's base model only needs one correct process.
+        schedule.validate(Topology([2, 2]), require_majority=False)
+
+    def test_all_processes_of_one_group_crashed(self):
+        schedule = CrashSchedule({3: 1.0, 4: 2.0, 5: 3.0})
+        with pytest.raises(ValueError, match="group 1 has no correct"):
+            schedule.validate(Topology([3, 3]))
+        # Even without the majority requirement this stays illegal.
+        with pytest.raises(ValueError, match="group 1 has no correct"):
+            schedule.validate(Topology([3, 3]), require_majority=False)
+
+    def test_singleton_group_crash_is_whole_group_loss(self):
+        with pytest.raises(ValueError, match="group 0 has no correct"):
+            CrashSchedule({0: 1.0}).validate(Topology([1, 3]))
+
+    def test_unknown_process_rejected(self):
+        schedule = CrashSchedule({99: 1.0})
+        with pytest.raises(ValueError, match=r"unknown process\(es\) \[99\]"):
+            schedule.validate(Topology([2, 2]))
+
+    def test_unknown_process_reported_alongside_known(self):
+        schedule = CrashSchedule({0: 1.0, 7: 2.0, 12: 3.0})
+        with pytest.raises(ValueError, match=r"\[7, 12\]"):
+            schedule.validate(Topology([3, 3]))
+
+
+class TestRandomMinority:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_validates(self, seed):
+        """The generator's contract: every draw satisfies validate()."""
+        topology = Topology([3, 4, 2])
+        schedule = CrashSchedule.random_minority(
+            topology, random.Random(seed), crash_probability=1.0)
+        schedule.validate(topology)
+
+    def test_crash_times_within_window(self):
+        topology = Topology([5, 5])
+        schedule = CrashSchedule.random_minority(
+            topology, random.Random(3), window=17.0, crash_probability=1.0)
+        assert schedule.crashes
+        assert all(0.0 <= t <= 17.0 for t in schedule.crashes.values())
+
+
+class TestAccessors:
+    def test_correct_processes_and_flags(self):
+        topology = Topology([2, 2])
+        schedule = CrashSchedule({1: 4.0})
+        assert schedule.is_faulty(1) and not schedule.is_faulty(0)
+        assert schedule.crash_time(1) == 4.0
+        assert schedule.crash_time(2) is None
+        assert schedule.correct_processes(topology) == [0, 2, 3]
+        assert len(schedule) == 1

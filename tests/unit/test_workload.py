@@ -90,6 +90,35 @@ class TestArrivalProcesses:
         assert [p.time for p in plans] == [0.0, 2.0, 4.0, 6.0]
         assert [p.sender for p in plans] == [0, 3, 0, 3]
 
+    def test_periodic_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="positive period.*0.0"):
+            periodic_workload(TOPO, period=0.0, count=4)
+        with pytest.raises(ValueError, match="positive period.*-1"):
+            periodic_workload(TOPO, period=-1, count=4)
+
+    def test_periodic_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative count.*-2"):
+            periodic_workload(TOPO, period=1.0, count=-2)
+
+    def test_periodic_zero_count_is_empty(self):
+        assert periodic_workload(TOPO, period=1.0, count=0) == []
+
+    def test_burst_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError, match="positive burst count.*0"):
+            burst_workload(TOPO, random.Random(1), bursts=0,
+                           burst_size=4, gap=10.0)
+        with pytest.raises(ValueError, match="positive burst size.*-1"):
+            burst_workload(TOPO, random.Random(1), bursts=2,
+                           burst_size=-1, gap=10.0)
+
+    def test_burst_rejects_negative_gap_and_spread(self):
+        with pytest.raises(ValueError, match="non-negative gap.*-5"):
+            burst_workload(TOPO, random.Random(1), bursts=2,
+                           burst_size=4, gap=-5.0)
+        with pytest.raises(ValueError, match="non-negative spread.*-0.5"):
+            burst_workload(TOPO, random.Random(1), bursts=2,
+                           burst_size=4, gap=10.0, spread=-0.5)
+
     def test_burst_structure(self):
         plans = burst_workload(TOPO, random.Random(8), bursts=3,
                                burst_size=4, gap=100.0, spread=1.0)
