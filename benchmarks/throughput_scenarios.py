@@ -46,6 +46,12 @@ class ThroughputResult:
     ``kernel_events_per_sec`` counts raw kernel events, which the
     batched network *reduces* for the same work, so it understates
     engine speedups by design.
+
+    ``fd_messages`` counts failure-detector heartbeat copies.  The
+    elided heartbeat mode removes exactly those (it provably changes
+    nothing else — see :mod:`repro.failure.harness`), so heartbeat
+    scenarios compare on :attr:`app_events_per_sec`, whose numerator
+    (protocol traffic) stays identical across detector modes.
     """
 
     scenario: str
@@ -56,6 +62,7 @@ class ThroughputResult:
     network_messages: int
     virtual_end: float
     wall_seconds: float
+    fd_messages: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -71,11 +78,22 @@ class ThroughputResult:
         """Alias of :attr:`events_per_sec` (simulated msgs / wall sec)."""
         return self.network_messages / self.wall_seconds
 
+    @property
+    def app_messages(self) -> int:
+        """Network copies excluding failure-detector heartbeats."""
+        return self.network_messages - self.fd_messages
+
+    @property
+    def app_events_per_sec(self) -> float:
+        """Protocol (non-detector) message events per wall second."""
+        return self.app_messages / self.wall_seconds
+
     def to_json(self) -> dict:
         data = asdict(self)
         data["events_per_sec"] = round(self.events_per_sec, 1)
         data["kernel_events_per_sec"] = round(self.kernel_events_per_sec, 1)
         data["msgs_per_sec"] = round(self.msgs_per_sec, 1)
+        data["app_events_per_sec"] = round(self.app_events_per_sec, 1)
         data["wall_seconds"] = round(self.wall_seconds, 4)
         return data
 
@@ -99,6 +117,9 @@ def _run(name: str, system: System, plans) -> ThroughputResult:
         network_messages=system.network.stats.total_messages,
         virtual_end=system.sim.now,
         wall_seconds=max(wall, 1e-9),
+        fd_messages=sum(count for kind, count
+                        in system.network.stats.by_kind.items()
+                        if kind.startswith("fd.")),
     )
 
 
@@ -161,13 +182,76 @@ def poisson_sequencer(seed: int = 42) -> ThroughputResult:
     return _run("poisson_sequencer", system, plans)
 
 
+# ----------------------------------------------------------------------
+# Large-n heartbeat scenarios
+# ----------------------------------------------------------------------
+#: 64 processes in 8 groups — the regime where per-run O(n·|group|)
+#: detector traffic dwarfs the protocol's own messages.
+HB_GROUP_SIZES = [8] * 8
+HB_PERIOD = 2.5
+HB_TIMEOUT = 12.5
+
+
+def _hb_system(protocol: str, mode: str, seed: int,
+               horizon: float) -> System:
+    """A large-n system under a heartbeat detector in ``mode``."""
+    return build_system(
+        protocol=protocol, group_sizes=HB_GROUP_SIZES, seed=seed,
+        detector="heartbeat-elided" if mode == "elided" else "heartbeat",
+        heartbeat_period=HB_PERIOD, heartbeat_timeout=HB_TIMEOUT,
+        heartbeat_horizon=horizon,
+    )
+
+
+def hb_large_a1(seed: int = 42, mode: str = "elided") -> ThroughputResult:
+    """A1 across 8×8 processes with a live heartbeat failure detector.
+
+    ``mode="messages"`` is the pre-PR-equivalent baseline: real
+    heartbeat copies (~538k of them — O(n·|group|) per period up to the
+    horizon) flow through the network.  ``mode="elided"`` (the default,
+    what the suite measures) derives the identical suspicion behaviour
+    analytically and sends none; ``benchmarks/test_throughput.py`` runs
+    the determinism harness on this very configuration before trusting
+    the numbers.
+    """
+    system = _hb_system("a1", mode, seed, horizon=3_000.0)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=1.5, duration=60.0,
+        destinations=uniform_k_groups(2),
+    )
+    return _run("hb_large_a1", system, plans)
+
+
+def hb_large_a2(seed: int = 42, mode: str = "elided") -> ThroughputResult:
+    """A2 broadcast across 8×8 processes under heartbeats.
+
+    Broadcast puts every process in every destination set, so the
+    protocol itself is chatty at n=64; the longer horizon keeps
+    detector traffic dominant in message mode, which is exactly the
+    overhead profile the elided mode removes.
+    """
+    system = _hb_system("a2", mode, seed, horizon=4_000.0)
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=0.15, duration=60.0,
+    )
+    return _run("hb_large_a2", system, plans)
+
+
 SCENARIOS: Dict[str, Callable[[], ThroughputResult]] = {
     "poisson_hi_a1": poisson_hi_a1,
     "poisson_hi_a2": poisson_hi_a2,
     "burst_a1": burst_a1,
     "poisson_skeen": poisson_skeen,
     "poisson_sequencer": poisson_sequencer,
+    "hb_large_a1": hb_large_a1,
+    "hb_large_a2": hb_large_a2,
 }
+
+#: Heartbeat scenarios: measured in elided mode against committed
+#: message-mode baselines; compared on ``app_events_per_sec``.
+HB_SCENARIOS = ("hb_large_a1", "hb_large_a2")
 
 
 def run_all() -> List[ThroughputResult]:

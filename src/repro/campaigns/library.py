@@ -1,6 +1,6 @@
 """Built-in campaign matrices.
 
-Four ready-made campaigns cover the axes the paper's claims range over:
+Five ready-made campaigns cover the axes the paper's claims range over:
 
 * ``wan-storm`` — A1 under WAN latency sweeps (link delay × arrival
   rate), the Pod-style wide-area evaluation grid;
@@ -11,7 +11,11 @@ Four ready-made campaigns cover the axes the paper's claims range over:
   genuine multicast;
 * ``cross-protocol`` — one workload plan driven through A1 and every
   baseline, property-checked on each: the strongest cross-validation
-  the repository offers, now as a single declarative matrix.
+  the repository offers, now as a single declarative matrix;
+* ``fd-overhead`` — the same workload under the oracle detector, real
+  message-driven heartbeats, and the elided analytic heartbeat mode:
+  failure-detector traffic is pure overhead in crash-free runs, and
+  this grid measures it.
 
 Each builder returns a :class:`Campaign`; pass ``seeds`` to widen or
 narrow the per-scenario seed list (the CLI's ``--seeds`` does).
@@ -20,6 +24,7 @@ narrow the per-scenario seed list (the CLI's ``--seeds`` does).
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclasses_replace
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.campaigns.runner import Campaign
@@ -140,6 +145,44 @@ def cross_protocol(seeds: Optional[Sequence[int]] = None) -> Campaign:
     )
 
 
+def fd_overhead(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """Oracle vs heartbeat vs elided-heartbeat detector cost, A1 and A2.
+
+    Failure-detector traffic is pure overhead in crash-free executions
+    (Aspnes' classic observation), so the grid quantifies it: the same
+    workload under the oracle detector, real message-driven heartbeats,
+    and the analytic elided mode — whose per-seed metrics must match
+    message mode's on everything but traffic and kernel-event counts.
+    """
+    base = ScenarioSpec(
+        name="fd",
+        protocol="a1",
+        group_sizes=(3, 3),
+        workload=WorkloadSpec(
+            kind="poisson", rate=0.5, duration=60.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        checkers=("properties",),
+        heartbeat_period=5.0,
+        heartbeat_timeout=20.0,
+        heartbeat_horizon=150.0,
+    )
+    bcast = dataclasses_replace(
+        base, protocol="a2",
+        workload=WorkloadSpec(kind="poisson", rate=0.4, duration=60.0),
+        name="fd-bcast",
+    )
+    detectors = ["perfect", "heartbeat", "heartbeat-elided"]
+    scenarios = (matrix(base, {"detector": detectors})
+                 + matrix(bcast, {"detector": detectors}))
+    return Campaign(
+        name="fd-overhead", scenarios=scenarios,
+        description="failure-detector cost: oracle vs real heartbeats vs "
+                    "the elided analytic fast path",
+    )
+
+
 CampaignBuilder = Callable[..., Campaign]
 
 CAMPAIGNS: Dict[str, CampaignBuilder] = {
@@ -147,6 +190,7 @@ CAMPAIGNS: Dict[str, CampaignBuilder] = {
     "crash-storm": crash_storm,
     "zipf-fanout": zipf_fanout,
     "cross-protocol": cross_protocol,
+    "fd-overhead": fd_overhead,
 }
 
 CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
@@ -155,6 +199,8 @@ CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
                    "crashes (6 scenarios)",
     "zipf-fanout": "Zipf destination skew x group count (6 scenarios)",
     "cross-protocol": "A1 vs nine baselines on one workload (10 scenarios)",
+    "fd-overhead": "oracle vs heartbeat vs elided-heartbeat detector "
+                   "cost, A1 and A2 (6 scenarios)",
 }
 
 

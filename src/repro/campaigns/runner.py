@@ -100,6 +100,16 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
             f"unknown metric extractor(s) {unknown}; "
             f"have {sorted(EXTRACTORS)}"
         )
+    if spec.detector == "heartbeat" and spec.heartbeat_horizon is None:
+        # Message-driven heartbeats reschedule forever; without a
+        # horizon the run_quiescent below would grind max_events and
+        # die, per (scenario, seed), in every worker.  Fail fast.
+        raise ValueError(
+            f"scenario {spec.name!r}: detector='heartbeat' needs a "
+            f"finite heartbeat_horizon (message-driven beats never "
+            f"stop, so the run cannot quiesce); set heartbeat_horizon "
+            f"past the workload tail or use 'heartbeat-elided'"
+        )
     t0 = time.perf_counter()
     crash_rng = RngRegistry(seed).stream("campaign-crashes")
     # The topology is rebuilt by build_system; constructing it here too
@@ -116,7 +126,13 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
         detector=spec.detector,
         detector_delay=spec.detector_delay,
         stabilise_at=spec.stabilise_at,
+        heartbeat_period=spec.heartbeat_period,
+        heartbeat_timeout=spec.heartbeat_timeout,
+        heartbeat_horizon=spec.heartbeat_horizon,
         trace=bool(TRACE_CHECKERS.intersection(spec.checkers)),
+        # The "phases" metric family needs the profiler, the same way
+        # genuineness needs the trace — requesting it enables it.
+        profile=spec.profile or "phases" in spec.metrics,
         **spec.kwargs_dict(),
     )
     if spec.start_rounds:
@@ -210,13 +226,21 @@ class CampaignResult:
     def per_seed_metrics(self) -> Dict[str, Dict[int, Dict[str, float]]]:
         """scenario -> seed -> metrics; the determinism-comparison key.
 
-        Wall clocks are deliberately excluded: they are the only part of
-        a result that legitimately differs between serial and parallel
-        executions of the same campaign.
+        Wall clocks and profiler phase timings are deliberately
+        excluded: they are the only parts of a result that legitimately
+        differ between serial and parallel executions of the same
+        campaign.
         """
         return {
-            spec.name: {seed: dict(self._by_key[(spec.name, seed)].metrics)
-                        for seed in spec.seeds}
+            spec.name: {
+                seed: {
+                    name: value
+                    for name, value in
+                    self._by_key[(spec.name, seed)].metrics.items()
+                    if not name.startswith("phase_")
+                }
+                for seed in spec.seeds
+            }
             for spec in self.campaign.scenarios
         }
 

@@ -228,6 +228,13 @@ class ScenarioSpec:
     detector: str = "perfect"
     detector_delay: float = 5.0
     stabilise_at: float = 0.0
+    # Heartbeat-detector knobs (used when detector is "heartbeat" or
+    # "heartbeat-elided"); the horizon bounds heartbeat traffic so
+    # finite workloads still reach quiescence in message mode.
+    heartbeat_period: float = 10.0
+    heartbeat_timeout: float = 35.0
+    heartbeat_horizon: Optional[float] = None
+    profile: bool = False
     start_rounds: bool = False
     max_events: int = 10_000_000
     protocol_kwargs: Tuple[Tuple[str, object], ...] = ()
@@ -243,6 +250,7 @@ class ScenarioSpec:
             "latency": self.latency.kind,
             "workload": self.workload.kind,
             "crashes": self.crashes.kind,
+            "detector": self.detector,
             "checkers": list(self.checkers),
             "seeds": list(self.seeds),
         }

@@ -17,11 +17,38 @@ Section 2.2:
 Because delivery sequences only ever grow, checking the final sequences
 is equivalent to checking the "at any time t" formulation: a divergence
 at time t persists to the end of the run.
+
+Streaming implementations
+-------------------------
+The prefix-order check used to be an O(p²·m) pairwise scan — hopeless on
+campaign-scale logs.  It is now a single near-linear pass built on two
+reductions:
+
+* **within a group** every member's projected sequence must be a prefix
+  of a per-group *canonical* order (the union order in which members
+  first reach each position); any two prefixes of the same sequence are
+  automatically prefix-related;
+* **across groups** the canonical orders, projected on the messages a
+  group *pair* shares, must agree position by position — maintained as
+  one shared merge list per pair, extended by whichever group reaches a
+  position first.
+
+Both reductions are order-insensitive folds over individual deliveries,
+so the same core (:class:`StreamingPropertyChecker`) runs post-hoc over
+a finished log *and* incrementally via delivery hooks
+(``System.install_streaming_checker()``), flagging an order violation at
+the exact delivery that introduces it.  Agreement and validity use the
+delivery index the log maintains per message, replacing the old
+per-message scan over every process's sequence.
+
+The pre-streaming quadratic implementations live on in
+``tests/unit/test_checkers_streaming.py`` as oracles; adversarial logs
+assert both give identical verdicts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.interfaces import AppMessage
 from repro.failure.schedule import CrashSchedule
@@ -35,8 +62,9 @@ class PropertyViolation(AssertionError):
 
 def check_uniform_integrity(log: DeliveryLog, topology: Topology) -> None:
     """At most once; only addressees; only cast messages."""
-    cast = log.cast_messages()
+    cast = log.cast_map
     for pid in log.processes():
+        gid = topology.group_of(pid)
         seen = set()
         for msg in log.delivered_messages(pid):
             if msg.mid in seen:
@@ -48,9 +76,9 @@ def check_uniform_integrity(log: DeliveryLog, topology: Topology) -> None:
                 raise PropertyViolation(
                     f"process {pid} delivered {msg.mid}, which was never cast"
                 )
-            if topology.group_of(pid) not in cast[msg.mid].dest_groups:
+            if gid not in cast[msg.mid].dest_groups:
                 raise PropertyViolation(
-                    f"process {pid} (group {topology.group_of(pid)}) "
+                    f"process {pid} (group {gid}) "
                     f"delivered {msg.mid} addressed to "
                     f"{cast[msg.mid].dest_groups}"
                 )
@@ -60,7 +88,7 @@ def check_validity(
     log: DeliveryLog, topology: Topology, crashes: CrashSchedule
 ) -> None:
     """Correct caster => all correct addressees deliver."""
-    for mid, msg in log.cast_messages().items():
+    for mid, msg in log.cast_map.items():
         if crashes.is_faulty(msg.sender):
             continue
         _require_all_correct_addressees(log, topology, crashes, msg)
@@ -70,7 +98,7 @@ def check_uniform_agreement(
     log: DeliveryLog, topology: Topology, crashes: CrashSchedule
 ) -> None:
     """Any delivery => all correct addressees deliver."""
-    for mid, msg in log.cast_messages().items():
+    for mid, msg in log.cast_map.items():
         if not log.deliveries_of(mid):
             continue
         _require_all_correct_addressees(log, topology, crashes, msg)
@@ -81,6 +109,13 @@ def _require_all_correct_addressees(
     msg: AppMessage,
 ) -> None:
     delivered_by = set(log.deliveries_of(msg.mid))
+    _require_addressees_in(delivered_by, topology, crashes, msg)
+
+
+def _require_addressees_in(
+    delivered_by: Set[int], topology: Topology, crashes: CrashSchedule,
+    msg: AppMessage,
+) -> None:
     for gid in msg.dest_groups:
         for pid in topology.members(gid):
             if crashes.is_faulty(pid):
@@ -92,38 +127,161 @@ def _require_all_correct_addressees(
                 )
 
 
+# ----------------------------------------------------------------------
+# Uniform prefix order, streaming
+# ----------------------------------------------------------------------
+class _PrefixOrderTracker:
+    """Near-linear prefix-order verification, one delivery at a time.
+
+    Soundness sketch.  Let C_g be the canonical order built for group g
+    (only deliveries of messages actually addressed to g take part, as
+    in the paper's projection).  Every member's projected sequence is
+    checked index-by-index against C_g, so at all times it is a prefix
+    of C_g — hence any two same-group members are prefix-related.  For
+    groups g ≠ h, every *new position* of C_g that concerns a message
+    shared with h is checked against the pair's merge list S_{g,h}
+    (extended when g is first to the position), so the pair projections
+    of C_g and C_h are both prefixes of S_{g,h} — hence prefix-related,
+    and with them the projections of any p ∈ g, q ∈ h.  Conversely any
+    violated pair diverges at some first position, and whichever group
+    reaches that position second trips the mismatch — in either replay
+    order.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._canon: Dict[int, List[str]] = {
+            gid: [] for gid in topology.group_ids
+        }
+        self._ptr: Dict[int, int] = {pid: 0 for pid in topology.processes}
+        # (gmin, gmax) -> [shared merge list, {gid: matched count}]
+        self._pairs: Dict[Tuple[int, int], List] = {}
+
+    def observe(self, pid: int, msg: AppMessage) -> None:
+        """Fold one delivery in; raises on the first order violation."""
+        gid = self.topology.group_of(pid)
+        dest = msg.dest_groups
+        if gid not in dest:
+            # Not part of any projection involving pid's group; the
+            # integrity checker reports stray deliveries separately.
+            return
+        canon = self._canon[gid]
+        k = self._ptr[pid]
+        self._ptr[pid] = k + 1
+        if k < len(canon):
+            if canon[k] != msg.mid:
+                raise PropertyViolation(
+                    f"prefix order violated within group {gid}: "
+                    f"process {pid} delivered {msg.mid} at position {k} "
+                    f"where {canon[k]} was delivered first"
+                )
+            return
+        canon.append(msg.mid)
+        if len(dest) == 1:
+            return
+        for other in dest:
+            if other == gid:
+                continue
+            key = (gid, other) if gid < other else (other, gid)
+            state = self._pairs.get(key)
+            if state is None:
+                state = self._pairs[key] = [[], {key[0]: 0, key[1]: 0}]
+            shared, matched = state
+            i = matched[gid]
+            matched[gid] = i + 1
+            if i < len(shared):
+                if shared[i] != msg.mid:
+                    raise PropertyViolation(
+                        f"prefix order violated between groups {gid} "
+                        f"and {other}: position {i} of their common "
+                        f"messages is {shared[i]} in one order and "
+                        f"{msg.mid} in the other"
+                    )
+            else:
+                shared.append(msg.mid)
+
+
 def check_uniform_prefix_order(log: DeliveryLog, topology: Topology) -> None:
     """Pairwise projected sequences must be prefix-related.
 
     The projection P_{p,q} keeps only the messages addressed to both
-    p's and q's groups (paper Section 2.2).
+    p's and q's groups (paper Section 2.2).  Implemented as one pass
+    over the log via :class:`_PrefixOrderTracker` — O(total deliveries ×
+    destination-set size) instead of the old O(p²·m) pairwise scan.
     """
-    cast = log.cast_messages()
-    pids = log.processes()
-    for i, p in enumerate(pids):
-        for q in pids[i + 1:]:
-            sp = _project(log.sequence(p), cast, topology, p, q)
-            sq = _project(log.sequence(q), cast, topology, p, q)
-            if not _is_prefix(sp, sq) and not _is_prefix(sq, sp):
-                raise PropertyViolation(
-                    f"prefix order violated between {p} and {q}: "
-                    f"{sp} vs {sq}"
-                )
+    tracker = _PrefixOrderTracker(topology)
+    for pid in log.processes():
+        for msg in log.delivered_messages(pid):
+            tracker.observe(pid, msg)
 
 
-def _project(
-    sequence: Sequence[str], cast: Dict[str, AppMessage],
-    topology: Topology, p: int, q: int,
-) -> List[str]:
-    gp, gq = topology.group_of(p), topology.group_of(q)
-    return [
-        mid for mid in sequence
-        if gp in cast[mid].dest_groups and gq in cast[mid].dest_groups
-    ]
+# ----------------------------------------------------------------------
+# Incremental front-end
+# ----------------------------------------------------------------------
+class StreamingPropertyChecker:
+    """Check the paper's properties *during* a run, via delivery hooks.
 
+    Wire with ``system.install_streaming_checker()`` (or feed
+    :meth:`on_cast` / :meth:`on_delivery` by hand when replaying a
+    foreign log).  Integrity and prefix order are enforced at each
+    delivery — a violating run fails at the exact event that broke the
+    law, with the full simulator state still alive for debugging.
+    Validity and agreement are completion properties; call
+    :meth:`finalize` once the run is over.
+    """
 
-def _is_prefix(a: Sequence[str], b: Sequence[str]) -> bool:
-    return len(a) <= len(b) and list(b[: len(a)]) == list(a)
+    def __init__(self, topology: Topology,
+                 crashes: Optional[CrashSchedule] = None) -> None:
+        self.topology = topology
+        self.crashes = crashes or CrashSchedule.none()
+        self._cast: Dict[str, AppMessage] = {}
+        self._seen: Dict[int, Set[str]] = {}
+        self._delivered_by: Dict[str, Set[int]] = {}
+        self._prefix = _PrefixOrderTracker(topology)
+        self.deliveries_checked = 0
+
+    # ------------------------------------------------------------------
+    def on_cast(self, msg: AppMessage) -> None:
+        self._cast[msg.mid] = msg
+
+    def on_delivery(self, pid: int, msg: AppMessage) -> None:
+        """Integrity + prefix order for one delivery, immediately."""
+        self.deliveries_checked += 1
+        seen = self._seen.setdefault(pid, set())
+        if msg.mid in seen:
+            raise PropertyViolation(
+                f"process {pid} delivered {msg.mid} more than once"
+            )
+        seen.add(msg.mid)
+        if msg.mid not in self._cast:
+            raise PropertyViolation(
+                f"process {pid} delivered {msg.mid}, which was never cast"
+            )
+        gid = self.topology.group_of(pid)
+        if gid not in self._cast[msg.mid].dest_groups:
+            raise PropertyViolation(
+                f"process {pid} (group {gid}) delivered {msg.mid} "
+                f"addressed to {self._cast[msg.mid].dest_groups}"
+            )
+        self._delivered_by.setdefault(msg.mid, set()).add(pid)
+        self._prefix.observe(pid, msg)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Validity + uniform agreement over the accumulated state.
+
+        Both properties impose the same obligation — every correct
+        addressee delivers — and differ only in when it binds: validity
+        when the caster is correct, agreement when anyone delivered.
+        A message binds neither only when its caster is faulty and
+        nobody delivered it.
+        """
+        for mid, msg in self._cast.items():
+            delivered_by = self._delivered_by.get(mid, set())
+            if not delivered_by and self.crashes.is_faulty(msg.sender):
+                continue
+            _require_addressees_in(delivered_by, self.topology,
+                                   self.crashes, msg)
 
 
 def check_all(

@@ -29,6 +29,24 @@ from repro.sim.process import Process
 # A delivery filter may veto individual copies (fault-injection in tests).
 DeliveryFilter = Callable[[Message], bool]
 
+_classify_kind = None
+
+
+def _phase_of_kind(kind: str) -> str:
+    """Profiling phase of a message kind, via a lazily cached import.
+
+    ``repro.runtime`` imports this module through the builder, so a
+    top-level import of :func:`repro.runtime.profiler.classify_kind`
+    would be circular; binding it on first profiled delivery keeps the
+    per-message cost at one global load.
+    """
+    global _classify_kind
+    if _classify_kind is None:
+        from repro.runtime.profiler import classify_kind
+
+        _classify_kind = classify_kind
+    return _classify_kind(kind)
+
 
 class Network:
     """Connects :class:`Process` objects through a latency model."""
@@ -49,6 +67,11 @@ class Network:
         self.trace = trace or MessageTrace(enabled=False)
         self._processes: Dict[int, Process] = {}
         self._filters: List[DeliveryFilter] = []
+        #: Optional :class:`~repro.runtime.profiler.PhaseProfiler`; the
+        #: builder shares the simulator's instance here.  When set, the
+        #: delivery path charges pre-handler overhead to "network" and
+        #: each handler call to its kind's phase.
+        self.profiler = None
         # src_gid -> {dst_gid -> constant link delay, or None when the
         # pair's distribution needs an RNG draw per copy}.  Lazily
         # filled; rows are fetched once per send_many call so the
@@ -106,6 +129,18 @@ class Network:
         the RNG stream nor any delivery interleaving — it only removes
         heap traffic.
         """
+        if self.profiler is not None:
+            self.profiler.push("network")
+            try:
+                self._send_many(src, dsts, kind, payload)
+            finally:
+                self.profiler.pop()
+            return
+        self._send_many(src, dsts, kind, payload)
+
+    def _send_many(
+        self, src: int, dsts: Iterable[int], kind: str, payload: dict
+    ) -> None:
         sender = self._processes[src]
         if sender.crashed:
             return
@@ -153,6 +188,17 @@ class Network:
                 schedule(delay, lambda ms=copies: self._deliver_batch(ms))
 
     def _send_copy(self, src: int, dst: int, kind: str, payload: dict) -> None:
+        if self.profiler is not None:
+            self.profiler.push("network")
+            try:
+                self._send_copy_impl(src, dst, kind, payload)
+            finally:
+                self.profiler.pop()
+            return
+        self._send_copy_impl(src, dst, kind, payload)
+
+    def _send_copy_impl(self, src: int, dst: int, kind: str,
+                        payload: dict) -> None:
         sender = self._processes[src]
         if sender.crashed:
             return
@@ -204,24 +250,49 @@ class Network:
             self._deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
-        receiver = self._processes[msg.dst]
-        if receiver.crashed:
-            self.stats.on_drop(msg)
-            return
-        for flt in self._filters:
-            if not flt(msg):
+        """One shared delivery path, profiled or not.
+
+        Under profiling, network bookkeeping (crash/filter checks,
+        clock, trace) is charged to "network" and the handler call to
+        the phase of its message kind (consensus / failure_detection /
+        protocol); a handler's own nested sends re-enter "network" via
+        :meth:`send_many`/:meth:`_send_copy`, so attribution stays
+        exclusive all the way down.  When the profiler is off the only
+        cost is the two ``is not None`` branches.
+        """
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("network")
+        try:
+            receiver = self._processes[msg.dst]
+            if receiver.crashed:
                 self.stats.on_drop(msg)
                 return
-        # Inlined LamportClock.observe_receive and Process.handle —
-        # per-copy hot path (the crashed check already ran above).
-        clock = receiver.lamport
-        if msg.send_lamport > clock.value:
-            clock.value = msg.send_lamport
-        if self.trace.enabled:
-            self.trace.on_deliver(self.sim.now, msg)
-        handler = receiver._handlers.get(msg.kind)
-        if handler is None:
-            raise KeyError(
-                f"process {receiver.pid} has no handler for kind {msg.kind!r}"
-            )
-        handler(msg)
+            for flt in self._filters:
+                if not flt(msg):
+                    self.stats.on_drop(msg)
+                    return
+            # Inlined LamportClock.observe_receive and Process.handle —
+            # per-copy hot path (the crashed check already ran above).
+            clock = receiver.lamport
+            if msg.send_lamport > clock.value:
+                clock.value = msg.send_lamport
+            if self.trace.enabled:
+                self.trace.on_deliver(self.sim.now, msg)
+            handler = receiver._handlers.get(msg.kind)
+            if handler is None:
+                raise KeyError(
+                    f"process {receiver.pid} has no handler for kind "
+                    f"{msg.kind!r}"
+                )
+            if profiler is None:
+                handler(msg)
+            else:
+                profiler.push(_phase_of_kind(msg.kind))
+                try:
+                    handler(msg)
+                finally:
+                    profiler.pop()
+        finally:
+            if profiler is not None:
+                profiler.pop()

@@ -80,43 +80,70 @@ class TraceEvent:
 
 
 class MessageTrace:
-    """An optional full log of network activity."""
+    """An optional full log of network activity.
+
+    The queries the checkers run per-message or per-run — participant
+    sets, last send time — are maintained incrementally on append, so
+    the genuineness check is O(participants) rather than a scan of the
+    whole event list.  :meth:`sends_of_kind` keeps a per-kind index,
+    built lazily on first query and invalidated by the next send, so
+    repeated kind queries over a settled trace never rescan.
+    """
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        self._senders: Set[int] = set()
+        self._receivers: Set[int] = set()
+        self._last_send_time: Optional[float] = None
+        # kind -> [(position in self.events, event), ...] for sends;
+        # None while stale (build lazily, invalidate on append).
+        self._sends_by_kind: Optional[Dict[str, List]] = None
 
     def on_send(self, time: float, msg: Message) -> None:
         if self.enabled:
             self.events.append(TraceEvent("send", time, msg))
+            self._senders.add(msg.src)
+            self._last_send_time = time
+            self._sends_by_kind = None
 
     def on_deliver(self, time: float, msg: Message) -> None:
         if self.enabled:
             self.events.append(TraceEvent("deliver", time, msg))
+            self._receivers.add(msg.dst)
 
     # ------------------------------------------------------------------
     # Queries used by checkers
     # ------------------------------------------------------------------
     def senders(self) -> Set[int]:
         """Processes that sent at least one message."""
-        return {e.msg.src for e in self.events if e.event == "send"}
+        return set(self._senders)
 
     def receivers(self) -> Set[int]:
         """Processes that received at least one message."""
-        return {e.msg.dst for e in self.events if e.event == "deliver"}
+        return set(self._receivers)
 
     def participants(self) -> Set[int]:
         """Processes that sent or received at least one message."""
-        return self.senders() | self.receivers()
+        return self._senders | self._receivers
 
     def sends_of_kind(self, prefix: str) -> List[TraceEvent]:
-        """Send events whose kind starts with ``prefix``."""
-        return [
-            e for e in self.events
-            if e.event == "send" and e.msg.kind.startswith(prefix)
-        ]
+        """Send events whose kind starts with ``prefix``, in send order."""
+        index = self._sends_by_kind
+        if index is None:
+            index = self._sends_by_kind = {}
+            for position, event in enumerate(self.events):
+                if event.event == "send":
+                    index.setdefault(event.msg.kind, []).append(
+                        (position, event))
+        matching = [entries for kind, entries in index.items()
+                    if kind.startswith(prefix)]
+        if len(matching) == 1:
+            return [event for _, event in matching[0]]
+        merged = sorted(
+            (entry for entries in matching for entry in entries))
+        return [event for _, event in merged]
 
     def last_send_time(self) -> Optional[float]:
         """Virtual time of the last send event, or None."""
-        times = [e.time for e in self.events if e.event == "send"]
-        return max(times) if times else None
+        return self._last_send_time

@@ -71,6 +71,12 @@ class System:
         self.catalog = MessageCatalog.of(sim)
         self.endpoints: Dict[int, object] = {}
         self._delivery_taps: Dict[int, List[Callable]] = {}
+        #: Shared :class:`~repro.runtime.profiler.PhaseProfiler`, set by
+        #: ``build_system(..., profile=True)`` (None otherwise).
+        self.profiler = None
+        # Global (pid, msg) hooks: streaming checkers subscribe here.
+        self._delivery_hooks: List[Callable] = []
+        self._cast_hooks: List[Callable] = []
 
     # ------------------------------------------------------------------
     # Wiring helpers (used by build_system)
@@ -83,6 +89,8 @@ class System:
         def on_deliver(msg: AppMessage, pid=pid, process=process) -> None:
             self.log.record_delivery(pid, msg)
             self.meter.record_delivery(msg.mid, process, now=self.sim.now)
+            for hook in self._delivery_hooks:
+                hook(pid, msg)
             for tap in self._delivery_taps.get(pid, ()):
                 tap(msg)
 
@@ -92,6 +100,34 @@ class System:
         """Subscribe an application layer (e.g. a replicated store) to
         ``pid``'s A-Deliver stream, after metering and logging."""
         self._delivery_taps.setdefault(pid, []).append(tap)
+
+    def add_delivery_hook(self, hook: Callable) -> None:
+        """Subscribe ``hook(pid, msg)`` to *every* A-Deliver event.
+
+        Unlike :meth:`add_delivery_tap` (per-pid, message-only), hooks
+        see the delivering process too — the shape incremental checkers
+        need.
+        """
+        self._delivery_hooks.append(hook)
+
+    def add_cast_hook(self, hook: Callable) -> None:
+        """Subscribe ``hook(msg)`` to every cast, at the cast instant."""
+        self._cast_hooks.append(hook)
+
+    def install_streaming_checker(self):
+        """Attach an incremental property checker to this system's run.
+
+        Returns the :class:`~repro.checkers.properties.
+        StreamingPropertyChecker`; order/integrity violations raise at
+        the offending delivery, and the caller runs ``finalize()`` after
+        the run for the completion properties (validity, agreement).
+        """
+        from repro.checkers.properties import StreamingPropertyChecker
+
+        checker = StreamingPropertyChecker(self.topology, self.crashes)
+        self.add_cast_hook(checker.on_cast)
+        self.add_delivery_hook(checker.on_delivery)
+        return checker
 
     # ------------------------------------------------------------------
     # Casting
@@ -109,12 +145,24 @@ class System:
 
     def _do_cast(self, msg: AppMessage) -> None:
         """Record and hand ``msg`` to its sender's endpoint, now."""
+        if self.profiler is not None:
+            self.profiler.push("workload")
+            try:
+                self._do_cast_impl(msg)
+            finally:
+                self.profiler.pop()
+            return
+        self._do_cast_impl(msg)
+
+    def _do_cast_impl(self, msg: AppMessage) -> None:
         endpoint = self.endpoints[msg.sender]
         process = self.network.process(msg.sender)
         self.catalog.intern(msg)
         self.log.record_cast(msg)
         self.meter.record_cast(msg.mid, process, dest_groups=msg.dest_groups,
                                now=self.sim.now)
+        for hook in self._cast_hooks:
+            hook(msg)
         if hasattr(endpoint, "a_mcast"):
             endpoint.a_mcast(msg)
         else:
@@ -298,6 +346,11 @@ PROTOCOLS: Dict[str, Callable] = {
 }
 
 
+#: Detector names accepted by :func:`build_system`.
+DETECTORS = ("perfect", "eventually-perfect", "heartbeat",
+             "heartbeat-elided")
+
+
 def build_system(
     protocol: str = "a1",
     group_sizes: List[int] = (3, 3),
@@ -307,7 +360,11 @@ def build_system(
     detector: str = "perfect",
     detector_delay: float = 5.0,
     stabilise_at: float = 0.0,
+    heartbeat_period: float = 10.0,
+    heartbeat_timeout: float = 35.0,
+    heartbeat_horizon: Optional[float] = None,
     trace: bool = False,
+    profile: bool = False,
     **protocol_kwargs,
 ) -> System:
     """Assemble a ready-to-run :class:`System`.
@@ -321,11 +378,23 @@ def build_system(
             virtual clock.
         seed: Root seed for every random stream.
         crashes: Crash schedule; validated against the topology.
-        detector: ``"perfect"`` or ``"eventually-perfect"``.
-        detector_delay: Crash-detection delay of the detector.
+        detector: ``"perfect"``, ``"eventually-perfect"``,
+            ``"heartbeat"`` (real message-driven heartbeats, one
+            coalesced timer per group) or ``"heartbeat-elided"`` (the
+            analytic zero-traffic fast path — same observable
+            behaviour, see :mod:`repro.failure.harness`).
+        detector_delay: Crash-detection delay of the oracle detectors.
         stabilise_at: For the eventually-perfect detector, the virtual
             time after which it stops making mistakes.
+        heartbeat_period: Gap between heartbeats (heartbeat detectors).
+        heartbeat_timeout: Silence before suspicion (heartbeat
+            detectors); must exceed the period.
+        heartbeat_horizon: Virtual time after which heartbeating stops,
+            so finite workloads reach quiescence (None = forever).
         trace: Enable the full message trace (genuineness checks).
+        profile: Attach a :class:`~repro.runtime.profiler.PhaseProfiler`
+            (shared by kernel, network and detector) — read the result
+            from ``RunReport.phase_timings()``.
         **protocol_kwargs: Forwarded to the protocol constructor.
     """
     if protocol not in PROTOCOLS:
@@ -338,6 +407,12 @@ def build_system(
     latency = latency or LatencyModel.logical()
     network = Network(sim, topology, latency, rng.stream("net"),
                       trace=MessageTrace(enabled=trace))
+    if profile:
+        from repro.runtime.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        sim.profiler = profiler
+        network.profiler = profiler
     for pid in topology.processes:
         network.register(Process(pid, topology.group_of(pid), sim))
 
@@ -353,10 +428,23 @@ def build_system(
             sim, network, rng.stream("fd"), stabilise_at=stabilise_at,
             delay=detector_delay,
         )
+    elif detector in ("heartbeat", "heartbeat-elided"):
+        from repro.failure.heartbeat import HeartbeatFailureDetector
+
+        fd = HeartbeatFailureDetector(
+            sim, network, topology,
+            period=heartbeat_period, timeout=heartbeat_timeout,
+            horizon=heartbeat_horizon,
+            mode="elided" if detector == "heartbeat-elided" else "messages",
+        )
     else:
-        raise ValueError(f"unknown detector {detector!r}")
+        raise ValueError(
+            f"unknown detector {detector!r}; pick one of {DETECTORS}"
+        )
 
     system = System(protocol, sim, topology, network, fd, rng, crashes)
+    if profile:
+        system.profiler = sim.profiler
     factory = PROTOCOLS[protocol]
     for pid in topology.processes:
         endpoint = factory(system, network.process(pid), **protocol_kwargs)

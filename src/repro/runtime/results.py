@@ -23,6 +23,11 @@ class DeliveryLog:
     def __init__(self) -> None:
         self._sequences: Dict[int, List[AppMessage]] = {}
         self._cast: Dict[str, AppMessage] = {}
+        # mid -> {pid: None}: an insertion-ordered set of deliverers,
+        # maintained per delivery so deliveries_of is O(deliverers)
+        # instead of a scan over every process's sequence — the index
+        # the streaming agreement/validity checkers run on.
+        self._delivered_by: Dict[str, Dict[int, None]] = {}
 
     # ------------------------------------------------------------------
     def record_cast(self, msg: AppMessage) -> None:
@@ -32,6 +37,7 @@ class DeliveryLog:
     def record_delivery(self, pid: int, msg: AppMessage) -> None:
         """Append ``msg`` to ``pid``'s delivery sequence."""
         self._sequences.setdefault(pid, []).append(msg)
+        self._delivered_by.setdefault(msg.mid, {})[pid] = None
 
     # ------------------------------------------------------------------
     def sequence(self, pid: int) -> List[str]:
@@ -47,13 +53,21 @@ class DeliveryLog:
         return sorted(self._sequences)
 
     def cast_messages(self) -> Dict[str, AppMessage]:
-        """All cast messages, by id."""
+        """All cast messages, by id (a copy; mutate freely)."""
         return dict(self._cast)
 
+    @property
+    def cast_map(self) -> Dict[str, AppMessage]:
+        """All cast messages, by id — the live dict, do not mutate.
+
+        The checkers read this on every message; handing out the
+        internal dict keeps them allocation-free on large logs.
+        """
+        return self._cast
+
     def deliveries_of(self, mid: str) -> List[int]:
-        """Pids that delivered ``mid``."""
-        return [pid for pid, seq in self._sequences.items()
-                if any(m.mid == mid for m in seq)]
+        """Pids that delivered ``mid``, in first-delivery order."""
+        return list(self._delivered_by.get(mid, ()))
 
     def delivery_count(self) -> int:
         """Total number of delivery events in the run."""

@@ -116,6 +116,15 @@ class TestRunnerMechanics:
         with pytest.raises(ValueError, match="jobs must be >= 1"):
             CampaignRunner(small_campaign(), jobs=0)
 
+    def test_message_heartbeat_without_horizon_rejected(self):
+        """Fail fast: message-mode heartbeats can never quiesce."""
+        spec = ScenarioSpec(name="hb", detector="heartbeat")
+        with pytest.raises(ValueError, match="heartbeat_horizon"):
+            run_scenario_seed(spec, 1)
+        # Elided mode schedules nothing, so no horizon is needed.
+        elided = dataclasses.replace(spec, detector="heartbeat-elided")
+        assert run_scenario_seed(elided, 1).ok
+
     def test_unknown_metric_rejected_before_running(self):
         spec = dataclasses.replace(small_campaign().scenarios[0],
                                    metrics=("degress",))
@@ -198,3 +207,58 @@ class TestLibrary:
         campaign.scenarios = campaign.scenarios[:2]
         result = run_campaign(campaign, jobs=2)
         assert result.all_checkers_ok
+
+    def test_fd_overhead_elided_matches_heartbeat_on_protocol_metrics(self):
+        """The elided detector changes traffic/events, nothing else."""
+        campaign = get_campaign("fd-overhead", seeds=(1,))
+        by_detector = {
+            s.detector: s for s in campaign.scenarios
+            if s.name.startswith("fd/")
+        }
+        runs = {
+            detector: run_scenario_seed(spec, 1)
+            for detector, spec in by_detector.items()
+        }
+        hb, elided = runs["heartbeat"], runs["heartbeat-elided"]
+        assert hb.ok and elided.ok
+        for metric in ("casts", "deliveries", "degree_mean",
+                       "latency_worst_mean"):
+            assert hb.metrics[metric] == elided.metrics[metric], metric
+        # The whole point: message mode pays for heartbeat copies.
+        assert hb.metrics["network_messages"] > \
+            elided.metrics["network_messages"]
+        assert hb.metrics["kernel_events"] > elided.metrics["kernel_events"]
+
+
+class TestPhaseMetrics:
+    def test_phases_metric_auto_enables_profiler(self):
+        spec = ScenarioSpec(
+            name="profiled",
+            group_sizes=(2, 2),
+            workload=WorkloadSpec(
+                kind="poisson", rate=1.0, duration=10.0,
+                destinations=DestinationSpec(kind="uniform-k", k=2),
+            ),
+            metrics=("core", "phases"),
+        )
+        result = run_scenario_seed(spec, 1)
+        phase_keys = [k for k in result.metrics
+                      if k.startswith("phase_")]
+        assert "phase_kernel_seconds" in phase_keys
+        assert "phase_network_seconds" in phase_keys
+        assert sum(result.metrics[k] for k in phase_keys) > 0.0
+
+    def test_phase_metrics_excluded_from_determinism_key(self):
+        """Wall-clock phases may differ run to run; the serial-vs-
+        parallel identity check must not compare them."""
+        base = ScenarioSpec(
+            name="profiled",
+            group_sizes=(2, 2),
+            workload=WorkloadSpec(kind="periodic", period=2.0, count=5,
+                                  destinations=DestinationSpec(
+                                      kind="uniform-k", k=2)),
+            metrics=("core", "phases"),
+            seeds=(1,),
+        )
+        campaign = Campaign(name="profiled", scenarios=[base])
+        verify_determinism(run_campaign(campaign), run_campaign(campaign))

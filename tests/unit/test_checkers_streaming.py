@@ -1,0 +1,308 @@
+"""Streaming checkers vs the pre-PR quadratic oracles.
+
+The prefix-order and agreement checks were rewritten from pairwise
+O(p²·m) scans into near-linear streaming passes.  This suite keeps the
+*old* implementations alive (below, verbatim modulo naming) as oracles
+and asserts the new code returns identical verdicts on adversarial logs:
+conflicting prefixes, partial delivery, duplicate delivery, gaps,
+cross-group inversions, and a seeded fuzz of mutated random logs.
+"""
+
+import random
+
+import pytest
+
+from repro.checkers.properties import (
+    PropertyViolation,
+    StreamingPropertyChecker,
+    check_all,
+    check_uniform_agreement,
+    check_uniform_integrity,
+    check_uniform_prefix_order,
+    check_validity,
+)
+from repro.core.interfaces import AppMessage
+from repro.failure.schedule import CrashSchedule
+from repro.net.topology import Topology
+from repro.runtime.results import DeliveryLog
+
+
+# ----------------------------------------------------------------------
+# The pre-PR quadratic implementations, kept as oracles
+# ----------------------------------------------------------------------
+def _oracle_project(sequence, cast, topology, p, q):
+    gp, gq = topology.group_of(p), topology.group_of(q)
+    return [
+        mid for mid in sequence
+        if gp in cast[mid].dest_groups and gq in cast[mid].dest_groups
+    ]
+
+
+def _oracle_is_prefix(a, b):
+    return len(a) <= len(b) and list(b[: len(a)]) == list(a)
+
+
+def oracle_prefix_order(log, topology):
+    """The seed commit's pairwise prefix-order check, verbatim."""
+    cast = log.cast_messages()
+    pids = log.processes()
+    for i, p in enumerate(pids):
+        for q in pids[i + 1:]:
+            sp = _oracle_project(log.sequence(p), cast, topology, p, q)
+            sq = _oracle_project(log.sequence(q), cast, topology, p, q)
+            if not _oracle_is_prefix(sp, sq) and \
+                    not _oracle_is_prefix(sq, sp):
+                raise PropertyViolation(
+                    f"prefix order violated between {p} and {q}: "
+                    f"{sp} vs {sq}"
+                )
+
+
+def oracle_agreement(log, topology, crashes):
+    """The seed commit's uniform agreement (per-mid sequence scans)."""
+    for mid, msg in log.cast_messages().items():
+        delivered_by = {
+            pid for pid in log.processes()
+            if any(m.mid == mid for m in log.delivered_messages(pid))
+        }
+        if not delivered_by:
+            continue
+        for gid in msg.dest_groups:
+            for pid in topology.members(gid):
+                if crashes.is_faulty(pid):
+                    continue
+                if pid not in delivered_by:
+                    raise PropertyViolation(
+                        f"correct addressee {pid} never delivered {mid}"
+                    )
+
+
+def _verdict(check, *args):
+    """None when the check passes, else the violation type."""
+    try:
+        check(*args)
+        return None
+    except PropertyViolation:
+        return PropertyViolation
+
+
+# ----------------------------------------------------------------------
+# Log construction helpers
+# ----------------------------------------------------------------------
+def _msg(mid, sender=0, dest=(0, 1)):
+    return AppMessage(mid=mid, sender=sender, dest_groups=dest)
+
+
+def _log_with(casts, deliveries):
+    log = DeliveryLog()
+    for msg in casts.values():
+        log.record_cast(msg)
+    for pid, mids in deliveries.items():
+        for mid in mids:
+            log.record_delivery(pid, casts[mid])
+    return log
+
+
+TOPO = Topology([2, 2])
+TOPO3 = Topology([2, 2, 2])
+
+
+class TestAdversarialLogsMatchOracle:
+    """Hand-built violations: streaming verdict == quadratic verdict."""
+
+    CASES = {
+        "clean_identical": (
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "b"], 1: ["a", "b"], 2: ["a", "b"], 3: ["a", "b"]},
+        ),
+        "true_prefix": (
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "b"], 2: ["a"]},
+        ),
+        "conflicting_prefixes_same_group": (
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "b"], 1: ["b", "a"]},
+        ),
+        "conflicting_prefixes_cross_group": (
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "b"], 2: ["b", "a"]},
+        ),
+        "gap_in_projection": (
+            # p0 delivers a before b; p2 delivers b but never a.
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "b"], 2: ["b"]},
+        ),
+        "partial_delivery": (
+            {"a": _msg("a")},
+            {0: ["a"], 1: ["a"], 2: ["a"]},  # 3 never delivers
+        ),
+        "duplicate_delivery": (
+            {"a": _msg("a"), "b": _msg("b")},
+            {0: ["a", "a", "b"], 2: ["a", "b"]},
+        ),
+        "disjoint_projections_fine": (
+            {"a": _msg("a", dest=(0,)), "b": _msg("b", dest=(1,)),
+             "c": _msg("c", dest=(0, 1))},
+            {0: ["a", "c"], 2: ["b", "c"]},
+        ),
+        "three_group_inversion": (
+            {"x": AppMessage(mid="x", sender=0, dest_groups=(0, 1, 2)),
+             "y": AppMessage(mid="y", sender=2, dest_groups=(0, 1, 2))},
+            {0: ["x", "y"], 2: ["x", "y"], 4: ["y", "x"]},
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_prefix_verdicts_identical(self, name):
+        casts, deliveries = self.CASES[name]
+        topology = TOPO3 if name == "three_group_inversion" else TOPO
+        log = _log_with(casts, deliveries)
+        assert _verdict(check_uniform_prefix_order, log, topology) == \
+            _verdict(oracle_prefix_order, log, topology), name
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_agreement_verdicts_identical(self, name):
+        casts, deliveries = self.CASES[name]
+        topology = TOPO3 if name == "three_group_inversion" else TOPO
+        log = _log_with(casts, deliveries)
+        crashes = CrashSchedule.none()
+        assert _verdict(check_uniform_agreement, log, topology, crashes) \
+            == _verdict(oracle_agreement, log, topology, crashes), name
+
+
+class TestFuzzedLogsMatchOracle:
+    """Seeded random logs, mutated four ways, must agree with oracles."""
+
+    def _random_log(self, rng, topology, n_messages):
+        pids = topology.processes
+        casts = {}
+        for i in range(n_messages):
+            k = rng.randint(1, len(topology.group_ids))
+            dest = tuple(sorted(rng.sample(list(topology.group_ids), k)))
+            casts[f"m{i}"] = AppMessage(
+                mid=f"m{i}", sender=rng.choice(pids), dest_groups=dest)
+        # A consistent global order, delivered as prefixes per process.
+        order = list(casts)
+        rng.shuffle(order)
+        deliveries = {}
+        for pid in pids:
+            gid = topology.group_of(pid)
+            addressed = [mid for mid in order
+                         if gid in casts[mid].dest_groups]
+            cut = rng.randint(0, len(addressed))
+            deliveries[pid] = addressed[:cut]
+        return casts, deliveries
+
+    def _mutate(self, rng, deliveries, how):
+        victims = [pid for pid, seq in deliveries.items() if len(seq) >= 2]
+        if not victims:
+            return deliveries
+        pid = rng.choice(victims)
+        seq = list(deliveries[pid])
+        if how == "swap":              # conflicting prefix order
+            i = rng.randrange(len(seq) - 1)
+            seq[i], seq[i + 1] = seq[i + 1], seq[i]
+        elif how == "drop":            # gap in the middle
+            del seq[rng.randrange(len(seq) - 1)]
+        elif how == "duplicate":       # delivered more than once
+            seq.append(seq[rng.randrange(len(seq))])
+        out = dict(deliveries)
+        out[pid] = seq
+        return out
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("mutation",
+                             ["none", "swap", "drop", "duplicate"])
+    def test_verdicts_identical(self, seed, mutation):
+        rng = random.Random(seed * 101 + hash(mutation) % 1000)
+        topology = TOPO3
+        casts, deliveries = self._random_log(rng, topology, n_messages=14)
+        if mutation != "none":
+            deliveries = self._mutate(rng, deliveries, mutation)
+        log = _log_with(casts, deliveries)
+        crashes = CrashSchedule.none()
+        assert _verdict(check_uniform_prefix_order, log, topology) == \
+            _verdict(oracle_prefix_order, log, topology)
+        assert _verdict(check_uniform_agreement, log, topology, crashes) \
+            == _verdict(oracle_agreement, log, topology, crashes)
+
+
+class TestStreamingIncremental:
+    """The hook-fed checker agrees with the post-run functions."""
+
+    def _feed(self, checker, casts, deliveries):
+        for msg in casts.values():
+            checker.on_cast(msg)
+        # Interleave round-robin, the worst case for canonical races.
+        cursors = {pid: 0 for pid in deliveries}
+        progressed = True
+        while progressed:
+            progressed = False
+            for pid in sorted(cursors):
+                i = cursors[pid]
+                if i < len(deliveries[pid]):
+                    checker.on_delivery(pid, casts[deliveries[pid][i]])
+                    cursors[pid] = i + 1
+                    progressed = True
+
+    @pytest.mark.parametrize(
+        "name", sorted(TestAdversarialLogsMatchOracle.CASES))
+    def test_matches_check_all(self, name):
+        casts, deliveries = TestAdversarialLogsMatchOracle.CASES[name]
+        topology = TOPO3 if name == "three_group_inversion" else TOPO
+        log = _log_with(casts, deliveries)
+        expected = _verdict(check_all, log, topology)
+
+        checker = StreamingPropertyChecker(topology)
+        try:
+            self._feed(checker, casts, deliveries)
+            checker.finalize()
+            streaming = None
+        except PropertyViolation:
+            streaming = PropertyViolation
+        assert streaming == expected, name
+
+    def test_order_violation_raises_at_offending_delivery(self):
+        checker = StreamingPropertyChecker(TOPO)
+        a, b = _msg("a"), _msg("b")
+        checker.on_cast(a)
+        checker.on_cast(b)
+        checker.on_delivery(0, a)
+        checker.on_delivery(0, b)
+        # p1 shares group 0, whose canonical order is now [a, b]; its
+        # first delivery being b diverges right here, mid-run.
+        with pytest.raises(PropertyViolation, match="prefix order"):
+            checker.on_delivery(1, b)
+
+    def test_duplicate_raises_immediately(self):
+        checker = StreamingPropertyChecker(TOPO)
+        a = _msg("a")
+        checker.on_cast(a)
+        checker.on_delivery(0, a)
+        with pytest.raises(PropertyViolation, match="more than once"):
+            checker.on_delivery(0, a)
+
+    def test_uncast_raises_immediately(self):
+        checker = StreamingPropertyChecker(TOPO)
+        with pytest.raises(PropertyViolation, match="never cast"):
+            checker.on_delivery(0, _msg("ghost"))
+
+    def test_live_system_hookup(self):
+        from repro.runtime.builder import build_system
+        from repro.workload.generators import (
+            poisson_workload,
+            schedule_workload,
+            uniform_k_groups,
+        )
+
+        system = build_system(protocol="a1", group_sizes=[2, 2, 2], seed=9)
+        checker = system.install_streaming_checker()
+        plans = poisson_workload(
+            system.topology, system.rng.stream("wl"),
+            rate=2.0, duration=15.0, destinations=uniform_k_groups(2),
+        )
+        schedule_workload(system, plans)
+        system.run_quiescent()
+        checker.finalize()
+        assert checker.deliveries_checked == system.log.delivery_count()
+        check_all(system.log, system.topology, system.crashes)

@@ -231,6 +231,41 @@ class TestNetwork:
         sim.run()
         assert net.trace.events == []
 
+    def test_sends_of_kind_prefix_query(self):
+        sim, topo, net = _network()
+        for pid in (1, 2):
+            net.process(pid).register_handler("amc.ts", lambda m: None)
+            net.process(pid).register_handler("amc.seq", lambda m: None)
+            net.process(pid).register_handler("fd.hb", lambda m: None)
+        net.send(0, 1, "amc.ts", {})
+        net.send(0, 2, "fd.hb", {})
+        net.send(0, 1, "amc.seq", {})
+        net.send(0, 2, "amc.ts", {})
+        sim.run()
+        assert [e.msg.kind for e in net.trace.sends_of_kind("amc.")] == \
+            ["amc.ts", "amc.seq", "amc.ts"]  # original send order
+        assert len(net.trace.sends_of_kind("fd.")) == 1
+        assert net.trace.sends_of_kind("nope") == []
+
+    def test_sends_of_kind_index_invalidated_on_append(self):
+        """The lazy index must not serve stale results after new sends."""
+        sim, topo, net = _network()
+        net.process(1).register_handler("amc.ts", lambda m: None)
+        net.send(0, 1, "amc.ts", {})
+        sim.run()
+        assert len(net.trace.sends_of_kind("amc.")) == 1  # index built
+        net.send(0, 1, "amc.ts", {})
+        sim.run()
+        assert len(net.trace.sends_of_kind("amc.")) == 2
+
+    def test_trace_last_send_time_incremental(self):
+        sim, topo, net = _network()
+        net.process(1).register_handler("test", lambda m: None)
+        assert net.trace.last_send_time() is None
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert net.trace.last_send_time() == 0.0
+
 
 class TestProcess:
     def test_crashed_process_ignores_messages(self):
