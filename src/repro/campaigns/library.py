@@ -15,7 +15,14 @@ Five ready-made campaigns cover the axes the paper's claims range over:
 * ``fd-overhead`` — the same workload under the oracle detector, real
   message-driven heartbeats, and the elided analytic heartbeat mode:
   failure-detector traffic is pure overhead in crash-free runs, and
-  this grid measures it.
+  this grid measures it;
+* ``torture`` — the paper's four protocols (A1, A1-noskip, A2 and the
+  non-genuine wrapper) under every built-in adversary: latency-skewed
+  links, bounded delay/reorder, partition spikes and phase-boundary
+  crashes.  The uniform properties must hold on *every* schedule an
+  adversary can construct within the model; ``repro.cli torture``
+  drives this grid through the explorer and shrinks any failure to a
+  minimal replayable counterexample.
 
 Each builder returns a :class:`Campaign`; pass ``seeds`` to widen or
 narrow the per-scenario seed list (the CLI's ``--seeds`` does).
@@ -183,6 +190,49 @@ def fd_overhead(seeds: Optional[Sequence[int]] = None) -> Campaign:
     )
 
 
+def torture(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """The paper's protocols × every built-in adversary.
+
+    The axis order (adversary outer, protocol inner) is deliberate:
+    smoke runs that truncate with ``--max-scenarios 4`` still cover two
+    adversaries × two protocols rather than four adversaries × one.
+    """
+    seeds = tuple(seeds or DEFAULT_SEEDS)
+    adversaries = ["link-skew", "delay-reorder", "partition-spike",
+                   "phase-crash"]
+    genuine = ScenarioSpec(
+        name="torture",
+        protocol="a1",
+        group_sizes=(3, 3),
+        workload=WorkloadSpec(
+            kind="poisson", rate=1.0, duration=30.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        seeds=seeds,
+        checkers=("properties", "genuineness"),
+    )
+    nongenuine = dataclasses_replace(
+        genuine, name="torture-ng", protocol="nongenuine",
+        checkers=("properties",),  # non-genuine by design
+    )
+    bcast = dataclasses_replace(
+        genuine, name="torture-bc", protocol="a2",
+        workload=WorkloadSpec(kind="poisson", rate=0.8, duration=30.0),
+        checkers=("properties",),
+    )
+    scenarios = (
+        matrix(genuine, {"adversary": adversaries,
+                         "protocol": ["a1", "a1-noskip"]})
+        + matrix(nongenuine, {"adversary": adversaries})
+        + matrix(bcast, {"adversary": adversaries})
+    )
+    return Campaign(
+        name="torture", scenarios=scenarios,
+        description="A1/A1-noskip/A2/nongenuine under all built-in "
+                    "adversaries; uniform properties checked per run",
+    )
+
+
 CampaignBuilder = Callable[..., Campaign]
 
 CAMPAIGNS: Dict[str, CampaignBuilder] = {
@@ -191,6 +241,7 @@ CAMPAIGNS: Dict[str, CampaignBuilder] = {
     "zipf-fanout": zipf_fanout,
     "cross-protocol": cross_protocol,
     "fd-overhead": fd_overhead,
+    "torture": torture,
 }
 
 CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
@@ -201,6 +252,8 @@ CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
     "cross-protocol": "A1 vs nine baselines on one workload (10 scenarios)",
     "fd-overhead": "oracle vs heartbeat vs elided-heartbeat detector "
                    "cost, A1 and A2 (6 scenarios)",
+    "torture": "4 protocols x 4 adversaries; minimal counterexample on "
+               "any failure (16 scenarios)",
 }
 
 

@@ -77,14 +77,8 @@ class RunResult:
         return all(v == "ok" for v in self.checkers.values())
 
 
-def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
-    """Build, run, measure and check one scenario under one seed.
-
-    Everything random — network jitter, workload arrivals, crash draws —
-    derives from ``seed`` via the same named-stream registry the rest of
-    the repository uses, so repeated invocations (in any process) agree
-    exactly.
-    """
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Fail fast on misconfigured scenarios, before any run starts."""
     from repro.campaigns.metrics import EXTRACTORS
 
     unknown = [c for c in spec.checkers if c not in CHECKERS]
@@ -100,6 +94,14 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
             f"unknown metric extractor(s) {unknown}; "
             f"have {sorted(EXTRACTORS)}"
         )
+    if spec.adversary != "none":
+        from repro.adversary.spec import ADVERSARIES
+
+        if spec.adversary not in ADVERSARIES:
+            raise ValueError(
+                f"scenario {spec.name!r}: unknown adversary "
+                f"{spec.adversary!r}; have {sorted(ADVERSARIES)}"
+            )
     if spec.detector == "heartbeat" and spec.heartbeat_horizon is None:
         # Message-driven heartbeats reschedule forever; without a
         # horizon the run_quiescent below would grind max_events and
@@ -110,7 +112,25 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
             f"stop, so the run cannot quiesce); set heartbeat_horizon "
             f"past the workload tail or use 'heartbeat-elided'"
         )
-    t0 = time.perf_counter()
+
+
+def build_scenario_system(spec: ScenarioSpec, seed: int,
+                          adversary=None):
+    """Build the system for one (scenario, seed), workload scheduled.
+
+    The one construction path shared by the campaign runner and the
+    adversary explorer: crash resolution, build_system, adversary
+    application (the named ``spec.adversary`` axis, or an explicit
+    :class:`~repro.adversary.spec.AdversarySpec` overriding it) and
+    workload scheduling all happen here, so a campaign run and an
+    explorer/shrinker/replay run of the same (spec, adversary, seed)
+    triple are bit-identical by construction.
+
+    Returns ``(system, plans, applied)`` where ``applied`` is the
+    :class:`~repro.adversary.injectors.AppliedAdversary` (None when
+    benign).
+    """
+    validate_spec(spec)
     crash_rng = RngRegistry(seed).stream("campaign-crashes")
     # The topology is rebuilt by build_system; constructing it here too
     # keeps CrashSpec resolution independent of builder internals.
@@ -135,14 +155,38 @@ def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
         profile=spec.profile or "phases" in spec.metrics,
         **spec.kwargs_dict(),
     )
+    applied = None
+    if adversary is None and spec.adversary != "none":
+        from repro.adversary.spec import get_adversary
+
+        adversary = get_adversary(spec.adversary)
+    if adversary is not None and adversary.injectors:
+        from repro.adversary.injectors import apply_adversary
+
+        applied = apply_adversary(system, adversary)
     if spec.start_rounds:
         system.start_rounds()
     plans = spec.workload.plans(system.topology, system.rng.stream("wl"))
     schedule_workload(system, plans)
+    return system, plans, applied
+
+
+def run_scenario_seed(spec: ScenarioSpec, seed: int) -> RunResult:
+    """Build, run, measure and check one scenario under one seed.
+
+    Everything random — network jitter, workload arrivals, crash draws,
+    adversarial fault streams — derives from ``seed`` via the same
+    named-stream registry the rest of the repository uses, so repeated
+    invocations (in any process) agree exactly.
+    """
+    t0 = time.perf_counter()
+    system, plans, applied = build_scenario_system(spec, seed)
     system.run_quiescent(max_events=spec.max_events)
 
     metrics = extract(system, list(spec.metrics))
     metrics["planned_casts"] = float(len(plans))
+    if applied is not None:
+        metrics["faults_injected"] = float(applied.total_faults)
     verdicts: Dict[str, str] = {}
     for name in spec.checkers:
         try:

@@ -225,6 +225,10 @@ class ScenarioSpec:
     seeds: Tuple[int, ...] = (1,)
     checkers: Tuple[str, ...] = ("properties",)
     metrics: Tuple[str, ...] = ("core", "latency", "degrees", "traffic")
+    # Named adversary from :data:`repro.adversary.spec.ADVERSARIES`
+    # ("none" = benign): a grid axis like any other dotted field path,
+    # resolved and applied by the campaign runner after build_system.
+    adversary: str = "none"
     detector: str = "perfect"
     detector_delay: float = 5.0
     stabilise_at: float = 0.0
@@ -250,10 +254,48 @@ class ScenarioSpec:
             "latency": self.latency.kind,
             "workload": self.workload.kind,
             "crashes": self.crashes.kind,
+            "adversary": self.adversary,
             "detector": self.detector,
             "checkers": list(self.checkers),
             "seeds": list(self.seeds),
         }
+
+    # ------------------------------------------------------------------
+    # Lossless (de)serialisation — replay artifacts depend on this
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The complete spec as JSON-compatible plain data.
+
+        Unlike :meth:`describe` (a human-oriented summary) this is
+        lossless: ``ScenarioSpec.from_dict(spec.to_dict()) == spec``,
+        which is what lets adversary counterexample artifacts replay a
+        run bit-identically.  ``protocol_kwargs`` values must be plain
+        data for the round trip to survive JSON.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (JSON-safe)."""
+        data = dict(data)
+        data["group_sizes"] = tuple(data["group_sizes"])
+        data["latency"] = LatencySpec(**data["latency"])
+        workload = dict(data["workload"])
+        destinations = dict(workload["destinations"])
+        destinations["groups"] = tuple(destinations["groups"])
+        workload["destinations"] = DestinationSpec(**destinations)
+        if workload.get("senders") is not None:
+            workload["senders"] = tuple(workload["senders"])
+        data["workload"] = WorkloadSpec(**workload)
+        crashes = dict(data["crashes"])
+        crashes["crashes"] = tuple(
+            (pid, when) for pid, when in crashes["crashes"])
+        data["crashes"] = CrashSpec(**crashes)
+        for name in ("seeds", "checkers", "metrics"):
+            data[name] = tuple(data[name])
+        data["protocol_kwargs"] = tuple(
+            (key, value) for key, value in data["protocol_kwargs"])
+        return cls(**data)
 
 
 # ----------------------------------------------------------------------

@@ -57,7 +57,18 @@ from repro.runtime.results import DeliveryLog
 
 
 class PropertyViolation(AssertionError):
-    """A paper property failed on a concrete run."""
+    """A paper property failed on a concrete run.
+
+    ``context`` carries machine-readable details of the violating event
+    (property name, pid, mid, position, ...) so the adversary explorer
+    can persist a structured record of *what* broke alongside the
+    replayable scenario that broke it.  It is additive: ``str(exc)``
+    stays the human-readable message existing callers format.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.context: Dict[str, object] = context
 
 
 def check_uniform_integrity(log: DeliveryLog, topology: Topology) -> None:
@@ -69,18 +80,25 @@ def check_uniform_integrity(log: DeliveryLog, topology: Topology) -> None:
         for msg in log.delivered_messages(pid):
             if msg.mid in seen:
                 raise PropertyViolation(
-                    f"process {pid} delivered {msg.mid} more than once"
+                    f"process {pid} delivered {msg.mid} more than once",
+                    property="uniform_integrity", kind="duplicate",
+                    pid=pid, mid=msg.mid,
                 )
             seen.add(msg.mid)
             if msg.mid not in cast:
                 raise PropertyViolation(
-                    f"process {pid} delivered {msg.mid}, which was never cast"
+                    f"process {pid} delivered {msg.mid}, "
+                    f"which was never cast",
+                    property="uniform_integrity", kind="uncast",
+                    pid=pid, mid=msg.mid,
                 )
             if gid not in cast[msg.mid].dest_groups:
                 raise PropertyViolation(
                     f"process {pid} (group {gid}) "
                     f"delivered {msg.mid} addressed to "
-                    f"{cast[msg.mid].dest_groups}"
+                    f"{cast[msg.mid].dest_groups}",
+                    property="uniform_integrity", kind="not_addressed",
+                    pid=pid, mid=msg.mid,
                 )
 
 
@@ -123,7 +141,10 @@ def _require_addressees_in(
             if pid not in delivered_by:
                 raise PropertyViolation(
                     f"correct addressee {pid} never delivered {msg.mid} "
-                    f"(delivered by {sorted(delivered_by)})"
+                    f"(delivered by {sorted(delivered_by)})",
+                    property="agreement_or_validity", kind="missing",
+                    pid=pid, mid=msg.mid,
+                    delivered_by=sorted(delivered_by),
                 )
 
 
@@ -173,7 +194,10 @@ class _PrefixOrderTracker:
                 raise PropertyViolation(
                     f"prefix order violated within group {gid}: "
                     f"process {pid} delivered {msg.mid} at position {k} "
-                    f"where {canon[k]} was delivered first"
+                    f"where {canon[k]} was delivered first",
+                    property="uniform_prefix_order", kind="intra_group",
+                    pid=pid, mid=msg.mid, position=k, expected=canon[k],
+                    group=gid,
                 )
             return
         canon.append(msg.mid)
@@ -195,7 +219,11 @@ class _PrefixOrderTracker:
                         f"prefix order violated between groups {gid} "
                         f"and {other}: position {i} of their common "
                         f"messages is {shared[i]} in one order and "
-                        f"{msg.mid} in the other"
+                        f"{msg.mid} in the other",
+                        property="uniform_prefix_order",
+                        kind="inter_group", pid=pid, mid=msg.mid,
+                        position=i, expected=shared[i],
+                        groups=sorted((gid, other)),
                     )
             else:
                 shared.append(msg.mid)
@@ -250,18 +278,24 @@ class StreamingPropertyChecker:
         seen = self._seen.setdefault(pid, set())
         if msg.mid in seen:
             raise PropertyViolation(
-                f"process {pid} delivered {msg.mid} more than once"
+                f"process {pid} delivered {msg.mid} more than once",
+                property="uniform_integrity", kind="duplicate",
+                pid=pid, mid=msg.mid,
             )
         seen.add(msg.mid)
         if msg.mid not in self._cast:
             raise PropertyViolation(
-                f"process {pid} delivered {msg.mid}, which was never cast"
+                f"process {pid} delivered {msg.mid}, which was never cast",
+                property="uniform_integrity", kind="uncast",
+                pid=pid, mid=msg.mid,
             )
         gid = self.topology.group_of(pid)
         if gid not in self._cast[msg.mid].dest_groups:
             raise PropertyViolation(
                 f"process {pid} (group {gid}) delivered {msg.mid} "
-                f"addressed to {self._cast[msg.mid].dest_groups}"
+                f"addressed to {self._cast[msg.mid].dest_groups}",
+                property="uniform_integrity", kind="not_addressed",
+                pid=pid, mid=msg.mid,
             )
         self._delivered_by.setdefault(msg.mid, set()).add(pid)
         self._prefix.observe(pid, msg)

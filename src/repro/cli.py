@@ -13,6 +13,10 @@ Usage::
     python -m repro.cli profile --protocol a1 --groups 3,3,3 --rate 5
     python -m repro.cli profile --detector heartbeat --json prof.json
 
+    python -m repro.cli torture --campaign torture --seeds 3
+    python -m repro.cli torture --selftest --out torture-out
+    python -m repro.cli replay COUNTEREXAMPLE_torture_s3.json
+
 Each experiment prints the same rows/series the paper reports (or that
 our extension sections define); the benchmark suite asserts the shapes,
 this CLI is for eyeballing and for regenerating EXPERIMENTS.md.
@@ -30,6 +34,16 @@ prints where the wall time went — kernel dispatch, network, protocol,
 consensus, failure detection, checkers.  The phases are *exclusive*
 times, so they sum to the profiled wall clock (``--json`` emits the
 machine-readable record the CI smoke job asserts on).
+
+The ``torture`` verb drives a campaign's scenario × adversary grid
+through the adversarial schedule explorer: each case runs under its
+named adversary, and any checker violation is automatically shrunk
+(fewer faults, smaller topology, shorter horizon) to a minimal
+counterexample written as a replayable ``COUNTEREXAMPLE_*.json``
+artifact.  ``--selftest`` proves the pipeline catches real bugs by
+hunting the intentionally broken FIFO-sequencer fixture.  The
+``replay`` verb re-runs an artifact and asserts bit-identical checker
+verdicts and delivery orders.
 """
 
 from __future__ import annotations
@@ -119,6 +133,7 @@ DESCRIPTIONS = {
 
 
 def _print_listing() -> None:
+    from repro.adversary.spec import ADVERSARIES
     from repro.campaigns.library import CAMPAIGN_DESCRIPTIONS
 
     print("experiments:")
@@ -128,6 +143,11 @@ def _print_listing() -> None:
     print("campaigns (python -m repro.cli campaign <name>):")
     for name, description in CAMPAIGN_DESCRIPTIONS.items():
         print(f"  {name:14s} {description}")
+    print()
+    print("adversaries (ScenarioSpec adversary=<name>, "
+          "python -m repro.cli torture):")
+    for name, spec in ADVERSARIES.items():
+        print(f"  {name:16s} {spec.describe()}")
 
 
 def _parse_seeds(parser: argparse.ArgumentParser,
@@ -343,12 +363,243 @@ def profile_main(argv: List[str]) -> int:
     return 0
 
 
+def _artifact_name(scenario: str, seed: int) -> str:
+    safe = scenario.replace("/", "_").replace("=", "-").replace(" ", "_")
+    return f"COUNTEREXAMPLE_{safe}_s{seed}.json"
+
+
+def torture_main(argv: List[str]) -> int:
+    """The ``torture`` verb: adversarial exploration with shrinking."""
+    import json
+    import os
+    import time
+
+    from repro.adversary.artifact import write_artifact
+    from repro.adversary.explorer import run_case
+    from repro.adversary.shrink import shrink
+    from repro.adversary.spec import get_adversary
+    from repro.campaigns.library import CAMPAIGNS, get_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli torture",
+        description="Drive a campaign's scenario x adversary grid "
+                    "through the schedule explorer; shrink any checker "
+                    "violation to a minimal replayable counterexample.",
+    )
+    parser.add_argument("--campaign", default="torture", metavar="NAME",
+                        help="campaign to torture (default: torture)")
+    parser.add_argument("--seeds", type=str, default=None, metavar="CSV",
+                        help="comma-separated seed override, e.g. 1,2,3")
+    parser.add_argument("--out", type=str, default=".", metavar="DIR",
+                        help="directory for TORTURE_/COUNTEREXAMPLE_ "
+                             "artifacts")
+    parser.add_argument("--max-scenarios", type=int, default=None,
+                        metavar="K",
+                        help="truncate the grid to its first K scenarios")
+    parser.add_argument("--shrink-budget", type=int, default=120,
+                        metavar="N",
+                        help="max candidate runs per shrink (default 120)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="emit raw (unshrunk) counterexamples")
+    parser.add_argument("--selftest", action="store_true",
+                        help="hunt the intentionally broken protocol "
+                             "fixture instead of a campaign: asserts "
+                             "the explorer catches it, the shrinker "
+                             "minimises it, and the artifact replays")
+    args = parser.parse_args(argv)
+
+    if args.shrink_budget < 1:
+        parser.error(f"--shrink-budget must be >= 1, "
+                     f"got {args.shrink_budget}")
+    if args.max_scenarios is not None and args.max_scenarios < 1:
+        parser.error(f"--max-scenarios must be >= 1, "
+                     f"got {args.max_scenarios}")
+    seeds = _parse_seeds(parser, args.seeds)
+    os.makedirs(args.out, exist_ok=True)
+
+    if args.selftest:
+        # The selftest runs one fixed scenario; flags that only make
+        # sense for a campaign grid would be silently ignored — reject
+        # them instead.
+        for flag, off in (("--campaign", args.campaign == "torture"),
+                          ("--max-scenarios",
+                           args.max_scenarios is None),
+                          ("--no-shrink", not args.no_shrink)):
+            if not off:
+                parser.error(f"{flag} cannot be combined with "
+                             f"--selftest")
+        return _torture_selftest(args, seeds)
+
+    if args.campaign not in CAMPAIGNS:
+        print(f"unknown campaign: {args.campaign}", file=sys.stderr)
+        print(f"available: {', '.join(CAMPAIGNS)}", file=sys.stderr)
+        return 2
+    campaign = get_campaign(args.campaign, seeds=seeds)
+    scenarios = campaign.scenarios
+    if args.max_scenarios is not None:
+        scenarios = scenarios[:args.max_scenarios]
+
+    t0 = time.perf_counter()
+    records = {}
+    counterexamples = []
+    for spec in scenarios:
+        adversary = get_adversary(spec.adversary)
+        for seed in spec.seeds:
+            case = run_case(spec, adversary, seed)
+            record = {
+                "verdicts": case.verdicts,
+                "casts": case.casts,
+                "deliveries": case.deliveries,
+                "faults_injected": case.total_faults,
+            }
+            print(case.describe())
+            if not case.ok:
+                # The record mirrors the *unshrunk* run (its verdicts,
+                # counts and violation belong together); the shrunk
+                # case lives in the artifact, summarised under
+                # "shrunk" — shrinking may legitimately pin a
+                # different symptom of the same schedule-sensitivity.
+                record["violation"] = case.violation.to_dict()
+                minimal = case
+                shrink_summary = None
+                if not args.no_shrink:
+                    outcome = shrink(case, budget=args.shrink_budget)
+                    minimal = outcome.minimal
+                    shrink_summary = outcome.summary()
+                    print(f"  shrunk: {minimal.describe()} "
+                          f"({outcome.runs_used} candidate runs)")
+                    record["shrunk"] = {
+                        "total_faults": minimal.total_faults,
+                        "casts": minimal.casts,
+                        "violating_checker": minimal.violation.checker,
+                    }
+                path = os.path.join(
+                    args.out, _artifact_name(spec.name, seed))
+                write_artifact(minimal, path,
+                               shrink_summary=shrink_summary)
+                counterexamples.append(path)
+                record["counterexample"] = path
+                print(f"  wrote {path}", file=sys.stderr)
+            records.setdefault(spec.name, {})[str(seed)] = record
+
+    summary = {
+        "schema": "repro.adversary.torture/v1",
+        "campaign": args.campaign,
+        "scenario_count": len(scenarios),
+        "case_count": sum(len(spec.seeds) for spec in scenarios),
+        "adversaries": sorted({spec.adversary for spec in scenarios}),
+        "all_checkers_ok": not counterexamples,
+        "counterexamples": counterexamples,
+        "wall_seconds": round(time.perf_counter() - t0, 4),
+        "scenarios": records,
+    }
+    safe = args.campaign.replace("/", "_")
+    summary_path = os.path.join(args.out, f"TORTURE_{safe}.json")
+    with open(summary_path, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"\n{summary['case_count']} cases, "
+          f"{len(counterexamples)} counterexample(s); "
+          f"wrote {summary_path}")
+    return 1 if counterexamples else 0
+
+
+def _torture_selftest(args, seeds: Optional[List[int]]) -> int:
+    """Prove the pipeline catches the broken fixture end to end."""
+    import os
+
+    from repro.adversary.artifact import replay_file, write_artifact
+    from repro.adversary.explorer import run_case
+    from repro.adversary.shrink import shrink
+    from repro.adversary.spec import get_adversary
+    from repro.adversary.selftest import (
+        PROTOCOL_NAME,
+        register_selftest_protocol,
+    )
+    from repro.campaigns.spec import ScenarioSpec, WorkloadSpec
+
+    register_selftest_protocol()
+    seed = (seeds or [1])[0]
+    scenario = ScenarioSpec(
+        name="selftest",
+        protocol=PROTOCOL_NAME,
+        group_sizes=(2, 2),
+        workload=WorkloadSpec(kind="poisson", rate=2.0, duration=15.0),
+        checkers=("properties",),
+    )
+    benign = run_case(scenario, get_adversary("none"), seed)
+    if not benign.ok:
+        print(f"selftest FAILED: fixture should pass benignly, got "
+              f"{benign.violation.message}", file=sys.stderr)
+        return 1
+    print(f"benign: {benign.describe()}")
+    case = run_case(scenario, get_adversary("delay-reorder"), seed)
+    if case.ok:
+        print("selftest FAILED: the delay-reorder adversary did not "
+              "catch the broken fixture", file=sys.stderr)
+        return 1
+    print(f"caught: {case.describe()}")
+    outcome = shrink(case, budget=args.shrink_budget)
+    minimal = outcome.minimal
+    print(f"shrunk: {minimal.describe()} "
+          f"({outcome.runs_used} candidate runs)")
+    if minimal.total_faults > 5:
+        print(f"selftest FAILED: shrunk reproducer still has "
+              f"{minimal.total_faults} faults (> 5)", file=sys.stderr)
+        return 1
+    path = os.path.join(args.out, _artifact_name("selftest", seed))
+    write_artifact(minimal, path, shrink_summary=outcome.summary())
+    result = replay_file(path)
+    if not result.reproduced:
+        print(f"selftest FAILED: artifact did not replay: "
+              f"{result.describe()}", file=sys.stderr)
+        return 1
+    print(f"replayed: {result.describe()}")
+    print(f"wrote {path}")
+    print("selftest OK: caught, shrunk to "
+          f"{minimal.total_faults} fault(s), replayed bit-identically")
+    return 0
+
+
+def replay_main(argv: List[str]) -> int:
+    """The ``replay`` verb: re-run counterexample artifacts."""
+    from repro.adversary.artifact import replay_file
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli replay",
+        description="Re-run adversary artifacts and assert the checker "
+                    "verdicts and delivery orders reproduce exactly.",
+    )
+    parser.add_argument("artifacts", nargs="+", metavar="FILE",
+                        help="COUNTEREXAMPLE_*.json artifact path(s)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.artifacts:
+        try:
+            result = replay_file(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # KeyError/TypeError: structurally malformed spec dicts
+            # inside an otherwise schema-valid artifact.
+            print(f"{path}: {exc!r}", file=sys.stderr)
+            status = 2
+            continue
+        print(f"{path}: {result.describe()}")
+        if not result.reproduced:
+            status = 1
+    return status
+
+
 def main(argv: List[str] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "torture":
+        return torture_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",

@@ -13,10 +13,23 @@ experiments fail fast on nonsensical schedules.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Iterable, Optional
 
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
+
+
+class CrashHorizonWarning(UserWarning):
+    """A schedule names crash times past the run horizon.
+
+    Such crashes still *execute* (the kernel keeps the crash event
+    queued, extending a run-until-quiescent well past the workload
+    tail), but they usually no longer influence anything the checkers
+    look at — the classic symptom of an unshrunk counterexample.  The
+    adversary shrinker uses :meth:`CrashSchedule.late_crashes` to find
+    and drop them.
+    """
 
 
 class CrashSchedule:
@@ -40,15 +53,55 @@ class CrashSchedule:
         """Process ids that never crash."""
         return [p for p in topology.processes if p not in self.crashes]
 
+    def late_crashes(self, horizon: float) -> Dict[int, float]:
+        """Crashes scheduled strictly after ``horizon`` (pid -> time).
+
+        The diagnostic behind :class:`CrashHorizonWarning`; the
+        adversary shrinker drops these first when it shortens a failing
+        scenario's horizon.
+        """
+        return {pid: t for pid, t in self.crashes.items() if t > horizon}
+
+    def truncated(self, horizon: float) -> "CrashSchedule":
+        """A copy of this schedule without the crashes past ``horizon``."""
+        return CrashSchedule(
+            {pid: t for pid, t in self.crashes.items() if t <= horizon}
+        )
+
+    def record_observed(self, pid: int, when: float) -> None:
+        """Record a crash injected dynamically during the run.
+
+        Phase-triggered injectors crash processes the static plan never
+        named; registering the crash here keeps the post-run checkers'
+        notion of "correct process" aligned with what actually happened.
+        """
+        self.crashes.setdefault(pid, when)
+
     # ------------------------------------------------------------------
-    def validate(self, topology: Topology, require_majority: bool = True) -> None:
+    def validate(self, topology: Topology, require_majority: bool = True,
+                 horizon: Optional[float] = None) -> None:
         """Check the schedule against the paper's assumptions.
 
         Raises ValueError when the schedule names a process outside the
         topology, when a group loses all members, or (when
         ``require_majority``) when a group loses its majority — Paxos
-        inside that group would lose liveness.
+        inside that group would lose liveness.  When ``horizon`` is
+        given, crashes scheduled past it additionally emit a
+        :class:`CrashHorizonWarning` — legal, but almost always a sign
+        the schedule carries dead weight.
         """
+        if horizon is not None:
+            late = self.late_crashes(horizon)
+            if late:
+                named = ", ".join(f"pid {pid} at {t:g}"
+                                  for pid, t in sorted(late.items()))
+                warnings.warn(
+                    f"crash(es) scheduled past the run horizon "
+                    f"{horizon:g}: {named}; they extend the run without "
+                    f"affecting it — consider truncated({horizon:g})",
+                    CrashHorizonWarning,
+                    stacklevel=2,
+                )
         known = set(topology.processes)
         strangers = sorted(pid for pid in self.crashes if pid not in known)
         if strangers:

@@ -29,6 +29,13 @@ from repro.sim.process import Process
 # A delivery filter may veto individual copies (fault-injection in tests).
 DeliveryFilter = Callable[[Message], bool]
 
+# A delay hook may perturb the sampled link delay of one message copy
+# (``hook(msg, delay) -> delay``).  Adversarial injectors use this as
+# their send-side hook point: delays may grow or shrink, but the copy is
+# still delivered exactly once with its payload untouched, so every
+# perturbation stays within quasi-reliable link semantics.
+DelayHook = Callable[[Message, float], float]
+
 _classify_kind = None
 
 
@@ -67,6 +74,7 @@ class Network:
         self.trace = trace or MessageTrace(enabled=False)
         self._processes: Dict[int, Process] = {}
         self._filters: List[DeliveryFilter] = []
+        self._delay_hooks: List[DelayHook] = []
         #: Optional :class:`~repro.runtime.profiler.PhaseProfiler`; the
         #: builder shares the simulator's instance here.  When set, the
         #: delivery path charges pre-handler overhead to "network" and
@@ -99,11 +107,42 @@ class Network:
     def add_delivery_filter(self, flt: DeliveryFilter) -> None:
         """Install a predicate that may drop individual message copies.
 
-        Only test fixtures use this (e.g. to model a faulty sender whose
-        reliable-multicast copies reached a strict subset of the group).
-        Filters must respect quasi-reliability if the scenario claims to.
+        Only test fixtures and fault injectors use this (e.g. to model a
+        faulty sender whose reliable-multicast copies reached a strict
+        subset of the group).  Filters must respect quasi-reliability if
+        the scenario claims to.  Installing the same filter twice would
+        silently double its observations (a counting filter would fire
+        at half its configured threshold), so duplicates are rejected.
         """
+        # ``==``, not ``is``: bound methods are recreated per attribute
+        # access, and == is how list.remove matches them back.
+        if flt in self._filters:
+            raise ValueError("delivery filter already installed")
         self._filters.append(flt)
+
+    def remove_delivery_filter(self, flt: DeliveryFilter) -> None:
+        """Uninstall a previously added delivery filter."""
+        if flt not in self._filters:
+            raise ValueError("delivery filter not installed")
+        self._filters.remove(flt)
+
+    def add_delay_hook(self, hook: DelayHook) -> None:
+        """Install a per-copy link-delay perturbation hook.
+
+        Hooks run in installation order at send time, each seeing the
+        previous hook's output; the final value must be a valid
+        (non-negative) delay.  This is the injector hook point for
+        latency skew, bounded reordering and partition spikes.
+        """
+        if hook in self._delay_hooks:
+            raise ValueError("delay hook already installed")
+        self._delay_hooks.append(hook)
+
+    def remove_delay_hook(self, hook: DelayHook) -> None:
+        """Uninstall a previously added delay hook."""
+        if hook not in self._delay_hooks:
+            raise ValueError("delay hook not installed")
+        self._delay_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # Sending
@@ -174,6 +213,9 @@ class Network:
                     src_gid, dst_gid)
             if delay is None:
                 delay = self.latency.sample(src_gid, dst_gid, rng)
+            if self._delay_hooks:
+                for hook in self._delay_hooks:
+                    delay = hook(msg, delay)
             bucket = buckets.get(delay)
             if bucket is None:
                 buckets[delay] = [msg]
@@ -215,6 +257,8 @@ class Network:
         if self.trace.enabled:
             self.trace.on_send(self.sim.now, msg)
         delay = self._link_delay(src_gid, dst_gid)
+        for hook in self._delay_hooks:
+            delay = hook(msg, delay)
         self.sim.schedule_action(delay, lambda m=msg: self._deliver(m))
 
     def _link_delay(self, src_gid: int, dst_gid: int) -> float:

@@ -1,0 +1,68 @@
+"""Golden-file replay: committed artifacts must reproduce exactly.
+
+Two minimised adversary artifacts are committed under ``golden/``:
+
+* ``broken_fifo_counterexample.json`` — the shrunk counterexample for
+  the intentionally broken FIFO-sequencer fixture (one injected fault,
+  two singleton groups, a prefix-order violation);
+* ``a1_partition_green.json`` — a green A1 run under the
+  partition-spike adversary.
+
+Replaying them asserts the engine's full determinism contract across
+code changes: same seeds -> same schedule -> same checker verdicts and
+same per-process delivery orders, byte for byte.  If a legitimate
+engine change alters scheduling (e.g. a new RNG stream consumer on the
+hot path), regenerate the artifacts deliberately — see
+``tests/adversary/golden/README.md``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adversary.artifact import SCHEMA, load_artifact, replay_file
+from repro.cli import main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+BROKEN = os.path.join(GOLDEN_DIR, "broken_fifo_counterexample.json")
+GREEN = os.path.join(GOLDEN_DIR, "a1_partition_green.json")
+
+
+@pytest.mark.parametrize("path", [BROKEN, GREEN])
+def test_golden_artifacts_have_valid_schema(path):
+    data = load_artifact(path)
+    assert data["schema"] == SCHEMA
+    assert data["expected"]["delivery_orders"]
+
+
+def test_broken_fifo_counterexample_reproduces():
+    result = replay_file(BROKEN)
+    assert result.reproduced, result.diffs
+    assert result.case.violation is not None
+    assert result.case.violation.checker == "properties"
+    assert "prefix order" in result.case.violation.message
+    # The committed reproducer is minimal: a single injected fault.
+    data = json.loads(open(BROKEN).read())
+    assert data["expected"]["total_faults"] <= 5
+    assert result.case.total_faults == data["expected"]["total_faults"]
+
+
+def test_green_partition_run_reproduces():
+    result = replay_file(GREEN)
+    assert result.reproduced, result.diffs
+    assert result.case.violation is None
+    assert result.case.verdicts == {"properties": "ok"}
+
+
+def test_cli_replay_verb_on_golden_files(capsys):
+    assert main(["replay", BROKEN, GREEN]) == 0
+    out = capsys.readouterr().out
+    assert out.count("reproduced bit-identically") == 2
+
+
+def test_cli_replay_rejects_non_artifact(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert main(["replay", str(bogus)]) == 2
+    assert "not an adversary artifact" in capsys.readouterr().err

@@ -24,6 +24,14 @@ class TestListing:
         out = capsys.readouterr().out
         assert "cross-protocol" in out and "wan-storm" in out
 
+    def test_list_enumerates_adversaries(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "adversaries" in out
+        for name in ("link-skew", "delay-reorder", "partition-spike",
+                     "phase-crash", "chaos", "torture"):
+            assert name in out
+
 
 class TestUnknownNames:
     def test_unknown_experiment_exits_2(self, capsys):
@@ -126,6 +134,80 @@ class TestCampaignVerb:
         detectors = {s["spec"]["detector"]
                      for s in data["scenarios"].values()}
         assert detectors == {"perfect", "heartbeat", "heartbeat-elided"}
+
+
+class TestTortureVerb:
+    def test_smoke_grid_is_green_and_writes_summary(self, tmp_path,
+                                                    capsys):
+        status = main(["torture", "--campaign", "torture",
+                       "--seeds", "1", "--max-scenarios", "4",
+                       "--out", str(tmp_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "4 cases, 0 counterexample(s)" in out
+        data = json.loads(
+            (tmp_path / "TORTURE_torture.json").read_text())
+        assert data["schema"] == "repro.adversary.torture/v1"
+        assert data["all_checkers_ok"] is True
+        assert data["counterexamples"] == []
+        assert data["case_count"] == 4
+        assert len(data["adversaries"]) >= 2
+        for runs in data["scenarios"].values():
+            for record in runs.values():
+                assert all(v == "ok"
+                           for v in record["verdicts"].values())
+                assert record["faults_injected"] > 0
+
+    def test_selftest_catches_shrinks_and_replays(self, tmp_path,
+                                                  capsys):
+        status = main(["torture", "--selftest", "--out", str(tmp_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "selftest OK" in out
+        artifacts = list(tmp_path.glob("COUNTEREXAMPLE_*.json"))
+        assert len(artifacts) == 1
+        data = json.loads(artifacts[0].read_text())
+        assert data["violation"] is not None
+        assert data["expected"]["total_faults"] <= 5
+        assert data["shrink"]["runs_used"] > 0
+
+    def test_unknown_campaign_exits_2(self, capsys):
+        assert main(["torture", "--campaign", "bogus"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_bad_budget_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["torture", "--shrink-budget", "0"])
+        assert excinfo.value.code == 2
+
+    def test_selftest_rejects_campaign_flags(self):
+        """Grid-only flags would be silently ignored by --selftest."""
+        for extra in (["--campaign", "crash-storm"],
+                      ["--max-scenarios", "2"],
+                      ["--no-shrink"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["torture", "--selftest"] + extra)
+            assert excinfo.value.code == 2
+
+
+class TestReplayVerb:
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["replay", "/no/such/artifact.json"]) == 2
+        assert "artifact.json" in capsys.readouterr().err
+
+    def test_malformed_scenario_dict_exits_2(self, tmp_path, capsys):
+        """Schema-valid but structurally broken artifacts must fail
+        cleanly (exit 2), not with an uncaught traceback."""
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "schema": "repro.adversary.artifact/v1",
+            "scenario": {},
+            "adversary": {"name": "none"},
+            "seed": 1,
+            "expected": {},
+        }))
+        assert main(["replay", str(bad)]) == 2
+        assert "bad.json" in capsys.readouterr().err
 
 
 class TestProfileVerb:

@@ -8,10 +8,11 @@ lean on it to fail fast instead of wedging a worker process mid-run.
 """
 
 import random
+import warnings
 
 import pytest
 
-from repro.failure.schedule import CrashSchedule
+from repro.failure.schedule import CrashHorizonWarning, CrashSchedule
 from repro.net.topology import Topology
 
 
@@ -76,6 +77,64 @@ class TestRandomMinority:
             topology, random.Random(3), window=17.0, crash_probability=1.0)
         assert schedule.crashes
         assert all(0.0 <= t <= 17.0 for t in schedule.crashes.values())
+
+
+class TestHorizonDiagnostics:
+    """Crashes past the run horizon: legal, but flagged for the
+    shrinker — they extend the run without influencing it."""
+
+    def test_late_crash_warns_when_horizon_given(self):
+        schedule = CrashSchedule({0: 5.0, 4: 250.0})
+        with pytest.warns(CrashHorizonWarning, match="pid 4 at 250"):
+            schedule.validate(Topology([3, 3]), horizon=100.0)
+
+    def test_no_warning_within_horizon(self):
+        schedule = CrashSchedule({0: 5.0})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            schedule.validate(Topology([3, 3]), horizon=100.0)
+
+    def test_no_warning_without_horizon(self):
+        """Default validate() is unchanged: no horizon, no warning."""
+        schedule = CrashSchedule({0: 250.0})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            schedule.validate(Topology([3, 3]))
+
+    def test_late_crashes_diagnostic(self):
+        schedule = CrashSchedule({0: 5.0, 3: 150.0, 4: 99.0})
+        assert schedule.late_crashes(100.0) == {3: 150.0}
+        assert schedule.late_crashes(200.0) == {}
+        # Boundary: a crash exactly at the horizon is not late.
+        assert schedule.late_crashes(99.0) == {3: 150.0}
+
+    def test_truncated_drops_only_late_crashes(self):
+        schedule = CrashSchedule({0: 5.0, 3: 150.0})
+        cut = schedule.truncated(100.0)
+        assert cut.crashes == {0: 5.0}
+        # The original is untouched (schedules are immutable plans).
+        assert schedule.crashes == {0: 5.0, 3: 150.0}
+
+    def test_horizon_warning_still_validates_structure(self):
+        """The warning is advisory; structural errors still raise."""
+        schedule = CrashSchedule({0: 250.0, 1: 251.0})
+        with pytest.warns(CrashHorizonWarning):
+            with pytest.raises(ValueError, match="loses its majority"):
+                schedule.validate(Topology([3, 3]), horizon=10.0)
+
+
+class TestRecordObserved:
+    def test_dynamic_crash_becomes_faulty(self):
+        schedule = CrashSchedule.none()
+        assert not schedule.is_faulty(2)
+        schedule.record_observed(2, 17.5)
+        assert schedule.is_faulty(2)
+        assert schedule.crash_time(2) == 17.5
+
+    def test_static_entry_wins_over_late_observation(self):
+        schedule = CrashSchedule({2: 10.0})
+        schedule.record_observed(2, 99.0)
+        assert schedule.crash_time(2) == 10.0
 
 
 class TestAccessors:

@@ -204,6 +204,91 @@ class TestNetwork:
         assert got == []
         assert net.stats.dropped == 1
 
+    def test_duplicate_delivery_filter_rejected(self):
+        """Installing one filter twice would double its observations."""
+        sim, topo, net = _network()
+        flt = lambda m: True
+        net.add_delivery_filter(flt)
+        with pytest.raises(ValueError, match="already installed"):
+            net.add_delivery_filter(flt)
+
+    def test_delivery_filter_removal(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        flt = lambda m: False
+        net.add_delivery_filter(flt)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert got == []
+        net.remove_delivery_filter(flt)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert len(got) == 1
+        # A second removal is an error, not a silent no-op.
+        with pytest.raises(ValueError, match="not installed"):
+            net.remove_delivery_filter(flt)
+
+    def test_bound_method_filter_round_trips(self):
+        """Bound methods are re-created per attribute access; the
+        dedup/removal API must match them by equality, not identity."""
+        sim, topo, net = _network()
+
+        class Counter:
+            def flt(self, msg):
+                return True
+
+        counter = Counter()
+        net.add_delivery_filter(counter.flt)
+        with pytest.raises(ValueError, match="already installed"):
+            net.add_delivery_filter(counter.flt)
+        net.remove_delivery_filter(counter.flt)
+
+    def test_delay_hook_perturbs_latency(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(sim.now))
+        hook = lambda msg, delay: delay + 5.0
+        net.add_delay_hook(hook)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert got == [6.0]  # 1.0 intra latency + 5.0 injected
+        net.remove_delay_hook(hook)
+        net.send(0, 1, "test", {})
+        sim.run()
+        assert got[1] == pytest.approx(7.0)  # back to plain latency
+
+    def test_delay_hooks_compose_in_order(self):
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(sim.now))
+        net.add_delay_hook(lambda msg, delay: delay * 2.0)
+        net.add_delay_hook(lambda msg, delay: delay + 1.0)
+        net.send(0, 1, "test", {})  # (1.0 * 2) + 1
+        sim.run()
+        assert got == [3.0]
+
+    def test_delay_hook_applies_to_send_many(self):
+        sim, topo, net = _network()
+        times = []
+        for pid in (1, 2):
+            net.process(pid).register_handler(
+                "test", lambda m: times.append(sim.now))
+        net.add_delay_hook(
+            lambda msg, delay: delay + (4.0 if msg.inter_group else 0.0))
+        net.send_many(0, [1, 2], "test", {})
+        sim.run()
+        assert times == [1.0, 14.0]  # intra untouched, inter 10+4
+
+    def test_duplicate_delay_hook_rejected(self):
+        sim, topo, net = _network()
+        hook = lambda msg, delay: delay
+        net.add_delay_hook(hook)
+        with pytest.raises(ValueError, match="already installed"):
+            net.add_delay_hook(hook)
+        with pytest.raises(ValueError, match="not installed"):
+            net.remove_delay_hook(lambda m, d: d)
+
     def test_duplicate_registration_rejected(self):
         sim, topo, net = _network()
         with pytest.raises(ValueError):
