@@ -22,7 +22,15 @@ Five ready-made campaigns cover the axes the paper's claims range over:
   crashes.  The uniform properties must hold on *every* schedule an
   adversary can construct within the model; ``repro.cli torture``
   drives this grid through the explorer and shrinks any failure to a
-  minimal replayable counterexample.
+  minimal replayable counterexample;
+* ``store-scaling`` — the transactional partitioned store (one-shot
+  multi-partition transactions, see :mod:`repro.store`) at 4/6/8
+  groups under genuine A1, the non-genuine wrapper and
+  broadcast-everything A2: serializability checked everywhere,
+  per-group involvement quantifying that genuineness keeps
+  non-destination groups idle;
+* ``txn-mix`` — the store's YCSB-style mix grid (read fraction ×
+  multi-partition ratio) on A1.
 
 Each builder returns a :class:`Campaign`; pass ``seeds`` to widen or
 narrow the per-scenario seed list (the CLI's ``--seeds`` does).
@@ -40,6 +48,7 @@ from repro.campaigns.spec import (
     DestinationSpec,
     LatencySpec,
     ScenarioSpec,
+    StoreSpec,
     WorkloadSpec,
     matrix,
 )
@@ -233,6 +242,94 @@ def torture(seeds: Optional[Sequence[int]] = None) -> Campaign:
     )
 
 
+def store_scaling(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """The transactional store as the deployment gains groups.
+
+    Three protocols over the same transaction plan (four data
+    partitions, zipf keys, 40% multi-partition mix) at 4, 6 and 8
+    groups — the groups beyond the first four own no data, so they are
+    the measurement instrument for the genuineness claim:
+
+    * ``a1`` (genuine routing): non-destination groups exchange **zero**
+      protocol messages (``nondest_messages`` metric);
+    * ``nongenuine`` (same destination sets, broadcast underneath): the
+      very same transactions now drag every group in;
+    * ``a2`` with ``routing="broadcast"``: the broadcast-everything
+      store — every group receives, orders and filters every
+      transaction.
+
+    Every scenario runs the one-copy-serializability and convergence
+    checkers; the a1 scenarios additionally assert genuineness.
+    """
+    seeds = tuple(seeds or DEFAULT_SEEDS)
+    store = StoreSpec(
+        n_keys=48, data_groups=(0, 1, 2, 3), routing="genuine",
+        rate=0.8, duration=40.0, read_fraction=0.5,
+        multi_partition_fraction=0.4, ops_per_txn=2, zipf_skew=1.0,
+    )
+    sizes = [(2, 2, 2, 2), (2, 2, 2, 2, 2, 2), (2,) * 8]
+    base = ScenarioSpec(
+        name="store",
+        protocol="a1",
+        group_sizes=sizes[0],
+        store=store,
+        seeds=seeds,
+        checkers=("properties", "serializability", "convergence",
+                  "genuineness"),
+        metrics=("core", "latency", "traffic", "store", "involvement"),
+    )
+    nongenuine = dataclasses_replace(
+        base, name="store-ng", protocol="nongenuine",
+        checkers=("properties", "serializability", "convergence"),
+    )
+    bcast = dataclasses_replace(
+        base, name="store-bc", protocol="a2",
+        store=dataclasses_replace(store, routing="broadcast"),
+        checkers=("properties", "serializability", "convergence"),
+    )
+    scenarios = (matrix(base, {"group_sizes": sizes})
+                 + matrix(nongenuine, {"group_sizes": sizes})
+                 + matrix(bcast, {"group_sizes": sizes}))
+    return Campaign(
+        name="store-scaling", scenarios=scenarios,
+        description="transactional store at 4/6/8 groups: genuine A1 vs "
+                    "nongenuine vs broadcast-everything; serializability "
+                    "checked, per-group involvement measured",
+    )
+
+
+def txn_mix(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """A1 store under the YCSB-style mix grid.
+
+    Read fraction × multi-partition ratio, four data partitions: the
+    serving layer must stay one-copy serialisable whether the workload
+    is read-heavy and local or write-heavy and cross-partition, and the
+    commit-latency metrics quantify what the mix costs.
+    """
+    base = ScenarioSpec(
+        name="mix",
+        protocol="a1",
+        group_sizes=(2, 2, 2, 2),
+        store=StoreSpec(
+            n_keys=48, routing="genuine", rate=1.0, duration=40.0,
+            ops_per_txn=2, zipf_skew=1.2,
+        ),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        checkers=("properties", "serializability", "convergence",
+                  "genuineness"),
+        metrics=("core", "latency", "store", "involvement"),
+    )
+    scenarios = matrix(base, {
+        "store.read_fraction": [0.95, 0.5, 0.1],
+        "store.multi_partition_fraction": [0.1, 0.5],
+    })
+    return Campaign(
+        name="txn-mix", scenarios=scenarios,
+        description="store read/write x multi-partition mix grid on A1; "
+                    "serializability and genuineness checked per cell",
+    )
+
+
 CampaignBuilder = Callable[..., Campaign]
 
 CAMPAIGNS: Dict[str, CampaignBuilder] = {
@@ -242,6 +339,8 @@ CAMPAIGNS: Dict[str, CampaignBuilder] = {
     "cross-protocol": cross_protocol,
     "fd-overhead": fd_overhead,
     "torture": torture,
+    "store-scaling": store_scaling,
+    "txn-mix": txn_mix,
 }
 
 CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
@@ -254,6 +353,10 @@ CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
                    "cost, A1 and A2 (6 scenarios)",
     "torture": "4 protocols x 4 adversaries; minimal counterexample on "
                "any failure (16 scenarios)",
+    "store-scaling": "transactional store at 4/6/8 groups, genuine vs "
+                     "nongenuine vs broadcast (9 scenarios)",
+    "txn-mix": "store read/write x multi-partition mix grid on A1 "
+               "(6 scenarios)",
 }
 
 

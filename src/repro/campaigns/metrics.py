@@ -99,6 +99,25 @@ def phase_metrics(system) -> Dict[str, float]:
             for name, seconds in timings.items()}
 
 
+def _store_metrics(system) -> Dict[str, float]:
+    """Serving-layer metrics (see :mod:`repro.store.metrics`)."""
+    from repro.store.metrics import store_metrics
+
+    return store_metrics(system)
+
+
+def _involvement_metrics(system) -> Dict[str, float]:
+    """Per-group involvement metrics (see :mod:`repro.store.metrics`).
+
+    Naming ``involvement`` in ``ScenarioSpec.metrics`` makes the
+    campaign runner build the system with ``trace=True`` automatically
+    (the rule genuineness uses).  Only valid for store scenarios.
+    """
+    from repro.store.metrics import involvement_metrics
+
+    return involvement_metrics(system)
+
+
 EXTRACTORS: Dict[str, MetricExtractor] = {
     "core": core_metrics,
     "latency": latency_metrics,
@@ -106,6 +125,8 @@ EXTRACTORS: Dict[str, MetricExtractor] = {
     "traffic": traffic_metrics,
     "rounds": round_metrics,
     "phases": phase_metrics,
+    "store": _store_metrics,
+    "involvement": _involvement_metrics,
 }
 
 

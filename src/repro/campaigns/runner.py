@@ -50,13 +50,44 @@ def _check_genuineness(system) -> None:
     check_genuineness(system.network.trace, system.log, system.topology)
 
 
+def _store_cluster(system):
+    cluster = getattr(system, "store_cluster", None)
+    if cluster is None:
+        raise ValueError(
+            "store checkers require a store scenario (ScenarioSpec.store)"
+        )
+    return cluster
+
+
+def _check_serializability(system) -> None:
+    from repro.store.checker import check_serializability
+
+    check_serializability(_store_cluster(system))
+
+
+def _check_convergence(system) -> None:
+    _store_cluster(system).assert_convergence()
+
+
 CHECKERS: Dict[str, Callable[[object], None]] = {
     "properties": _check_properties,
     "genuineness": _check_genuineness,
+    "serializability": _check_serializability,
+    "convergence": _check_convergence,
 }
 
 #: Checkers that need the full message trace recorded during the run.
 TRACE_CHECKERS = frozenset({"genuineness"})
+
+#: Checkers that only make sense with a mounted store cluster.
+STORE_CHECKERS = frozenset({"serializability", "convergence"})
+
+#: Metric families that need the trace (involvement accounting) — the
+#: same auto-enable rule TRACE_CHECKERS applies to checkers.
+TRACE_METRICS = frozenset({"involvement"})
+
+#: Metric families that read ``system.store_cluster``.
+STORE_METRICS = frozenset({"store", "involvement"})
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +132,14 @@ def validate_spec(spec: ScenarioSpec) -> None:
             raise ValueError(
                 f"scenario {spec.name!r}: unknown adversary "
                 f"{spec.adversary!r}; have {sorted(ADVERSARIES)}"
+            )
+    if spec.store is None:
+        store_only = (STORE_CHECKERS.intersection(spec.checkers)
+                      | STORE_METRICS.intersection(spec.metrics))
+        if store_only:
+            raise ValueError(
+                f"scenario {spec.name!r}: {sorted(store_only)} require a "
+                f"store scenario — set ScenarioSpec.store to a StoreSpec"
             )
     if spec.detector == "heartbeat" and spec.heartbeat_horizon is None:
         # Message-driven heartbeats reschedule forever; without a
@@ -149,7 +188,8 @@ def build_scenario_system(spec: ScenarioSpec, seed: int,
         heartbeat_period=spec.heartbeat_period,
         heartbeat_timeout=spec.heartbeat_timeout,
         heartbeat_horizon=spec.heartbeat_horizon,
-        trace=bool(TRACE_CHECKERS.intersection(spec.checkers)),
+        trace=bool(TRACE_CHECKERS.intersection(spec.checkers)
+                   or TRACE_METRICS.intersection(spec.metrics)),
         # The "phases" metric family needs the profiler, the same way
         # genuineness needs the trace — requesting it enables it.
         profile=spec.profile or "phases" in spec.metrics,
@@ -166,6 +206,13 @@ def build_scenario_system(spec: ScenarioSpec, seed: int,
         applied = apply_adversary(system, adversary)
     if spec.start_rounds:
         system.start_rounds()
+    if spec.store is not None:
+        # Store scenarios: mount the serving layer; clients issue the
+        # transactions, so the plain ``workload`` field is not used.
+        from repro.store.cluster import StoreCluster
+
+        cluster = StoreCluster.attach(system, spec.store)
+        return system, cluster.plans, applied
     plans = spec.workload.plans(system.topology, system.rng.stream("wl"))
     schedule_workload(system, plans)
     return system, plans, applied

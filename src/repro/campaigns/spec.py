@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.failure.schedule import CrashSchedule
 from repro.net.topology import LatencyModel, Topology
+from repro.store.spec import StoreSpec
 from repro.workload.generators import (
     CastPlan,
     all_groups,
@@ -222,6 +223,10 @@ class ScenarioSpec:
     latency: LatencySpec = field(default_factory=LatencySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     crashes: CrashSpec = field(default_factory=CrashSpec)
+    # Transactional-store scenario (None = plain cast workload).  When
+    # set, the runner mounts a StoreCluster on the built system and the
+    # ``workload`` field is ignored — clients issue the transactions.
+    store: Optional[StoreSpec] = None
     seeds: Tuple[int, ...] = (1,)
     checkers: Tuple[str, ...] = ("properties",)
     metrics: Tuple[str, ...] = ("core", "latency", "degrees", "traffic")
@@ -248,7 +253,7 @@ class ScenarioSpec:
 
     def describe(self) -> Dict[str, object]:
         """A JSON-friendly summary for campaign artefacts."""
-        return {
+        out = {
             "protocol": self.protocol,
             "group_sizes": list(self.group_sizes),
             "latency": self.latency.kind,
@@ -259,6 +264,18 @@ class ScenarioSpec:
             "checkers": list(self.checkers),
             "seeds": list(self.seeds),
         }
+        if self.store is not None:
+            out["store"] = {
+                "routing": self.store.routing,
+                "n_keys": self.store.n_keys,
+                "data_groups": (list(self.store.data_groups)
+                                if self.store.data_groups is not None
+                                else None),
+                "read_fraction": self.store.read_fraction,
+                "multi_partition_fraction":
+                    self.store.multi_partition_fraction,
+            }
+        return out
 
     # ------------------------------------------------------------------
     # Lossless (de)serialisation — replay artifacts depend on this
@@ -291,6 +308,10 @@ class ScenarioSpec:
         crashes["crashes"] = tuple(
             (pid, when) for pid, when in crashes["crashes"])
         data["crashes"] = CrashSpec(**crashes)
+        # ``store`` is absent in pre-store artifacts (they replay as
+        # plain cast scenarios) and None for non-store scenarios.
+        if data.get("store") is not None:
+            data["store"] = StoreSpec.from_dict(data["store"])
         for name in ("seeds", "checkers", "metrics"):
             data[name] = tuple(data[name])
         data["protocol_kwargs"] = tuple(

@@ -17,6 +17,9 @@ Usage::
     python -m repro.cli torture --selftest --out torture-out
     python -m repro.cli replay COUNTEREXAMPLE_torture_s3.json
 
+    python -m repro.cli store --protocol a1 --groups 2,2,2,2 --rate 1
+    python -m repro.cli store --protocol a2 --routing broadcast
+
 Each experiment prints the same rows/series the paper reports (or that
 our extension sections define); the benchmark suite asserts the shapes,
 this CLI is for eyeballing and for regenerating EXPERIMENTS.md.
@@ -34,6 +37,13 @@ prints where the wall time went — kernel dispatch, network, protocol,
 consensus, failure detection, checkers.  The phases are *exclusive*
 times, so they sum to the profiled wall clock (``--json`` emits the
 machine-readable record the CI smoke job asserts on).
+
+The ``store`` verb runs the transactional partitioned store
+(:mod:`repro.store`) under one scenario — one-shot multi-partition
+transactions routed by key ownership over genuine atomic multicast (or
+broadcast-everything for the comparison) — checks one-copy
+serializability and convergence, and prints commit latency plus the
+per-group involvement table that quantifies genuineness.
 
 The ``torture`` verb drives a campaign's scenario × adversary grid
 through the adversarial schedule explorer: each case runs under its
@@ -164,6 +174,18 @@ def _parse_seeds(parser: argparse.ArgumentParser,
     # Results are keyed by (scenario, seed): a repeated seed would pay
     # for a run whose result collapses onto the first one.
     return list(dict.fromkeys(seeds))
+
+
+def _parse_int_csv(parser: argparse.ArgumentParser, flag: str,
+                   text: str, required: bool = True) -> List[int]:
+    """Parse a comma-separated int flag; malformed values exit 2."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        parser.error(f"{flag} must be comma-separated ints: {text!r}")
+    if required and not values:
+        parser.error(f"{flag} must name at least one value")
+    return values
 
 
 def campaign_main(argv: List[str]) -> int:
@@ -300,14 +322,7 @@ def profile_main(argv: List[str]) -> int:
         print(f"unknown detector {args.detector!r}; "
               f"available: {', '.join(DETECTORS)}", file=sys.stderr)
         return 2
-    try:
-        group_sizes = [int(part) for part in args.groups.split(",")
-                       if part.strip()]
-    except ValueError:
-        parser.error(f"--groups must be comma-separated ints: "
-                     f"{args.groups!r}")
-    if not group_sizes:
-        parser.error("--groups must name at least one group")
+    group_sizes = _parse_int_csv(parser, "--groups", args.groups)
 
     heartbeat = args.detector.startswith("heartbeat")
     horizon = (args.duration + 10 * args.heartbeat_timeout
@@ -361,6 +376,126 @@ def profile_main(argv: List[str]) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 0
+
+
+def store_main(argv: List[str]) -> int:
+    """The ``store`` verb: one transactional-store scenario, checked."""
+    import json
+
+    from repro.campaigns.runner import run_scenario_seed
+    from repro.campaigns.spec import ScenarioSpec, StoreSpec
+    from repro.runtime.builder import PROTOCOLS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli store",
+        description="Run the transactional partitioned store under one "
+                    "scenario: route one-shot transactions via genuine "
+                    "multicast (or broadcast-everything), check "
+                    "one-copy serializability, and report commit "
+                    "latency plus per-group involvement.",
+    )
+    parser.add_argument("--protocol", default="a1",
+                        help="protocol registry key (default: a1)")
+    parser.add_argument("--groups", default="2,2,2,2", metavar="CSV",
+                        help="group sizes, e.g. 2,2,2,2 (default)")
+    parser.add_argument("--data-groups", default=None, metavar="CSV",
+                        help="groups owning partitions (default: all)")
+    parser.add_argument("--routing", default="genuine",
+                        choices=("genuine", "broadcast"),
+                        help="genuine multicast to owner groups, or "
+                             "broadcast-everything")
+    parser.add_argument("--keys", type=int, default=48,
+                        help="keyspace size (default: 48)")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="Poisson transaction arrival rate")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="workload duration in virtual time")
+    parser.add_argument("--read-fraction", type=float, default=0.5)
+    parser.add_argument("--multi-partition", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="fraction of multi-partition transactions")
+    parser.add_argument("--ops", type=int, default=2, metavar="N",
+                        help="operations per transaction (default: 2)")
+    parser.add_argument("--zipf", type=float, default=1.0,
+                        help="key-popularity zipf skew (default: 1.0)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the run record as JSON")
+    args = parser.parse_args(argv)
+
+    if args.protocol not in PROTOCOLS:
+        print(f"unknown protocol {args.protocol!r}; "
+              f"available: {', '.join(sorted(PROTOCOLS))}", file=sys.stderr)
+        return 2
+    group_sizes = tuple(_parse_int_csv(parser, "--groups", args.groups))
+    data_groups = None
+    if args.data_groups is not None:
+        data_groups = tuple(_parse_int_csv(parser, "--data-groups",
+                                           args.data_groups))
+
+    checkers = ["properties", "serializability", "convergence"]
+    if args.routing == "genuine" and args.protocol != "nongenuine":
+        checkers.append("genuineness")
+    try:
+        spec = ScenarioSpec(
+            name="store-cli",
+            protocol=args.protocol,
+            group_sizes=group_sizes,
+            store=StoreSpec(
+                n_keys=args.keys, data_groups=data_groups,
+                routing=args.routing, rate=args.rate,
+                duration=args.duration, read_fraction=args.read_fraction,
+                multi_partition_fraction=args.multi_partition,
+                ops_per_txn=args.ops, zipf_skew=args.zipf,
+            ),
+            seeds=(args.seed,),
+            checkers=tuple(checkers),
+            metrics=("core", "latency", "traffic", "store", "involvement"),
+        )
+        result = run_scenario_seed(spec, args.seed)
+    except ValueError as exc:
+        print(f"invalid store scenario: {exc}", file=sys.stderr)
+        return 2
+
+    metrics = result.metrics
+    print(f"store: {args.protocol} ({args.routing} routing), "
+          f"groups {list(group_sizes)}, seed {args.seed}")
+    print(f"  transactions: {metrics['txn_committed']:.0f} committed "
+          f"of {metrics['txn_planned']:.0f} planned "
+          f"({metrics['txn_multi_partition_fraction']:.0%} "
+          f"multi-partition)")
+    if "txn_latency_mean" in metrics:
+        print(f"  commit latency (sim time): "
+              f"mean {metrics['txn_latency_mean']:.2f}, "
+              f"p50 {metrics['txn_latency_p50']:.2f}, "
+              f"p90 {metrics['txn_latency_p90']:.2f}, "
+              f"max {metrics['txn_latency_max']:.2f}")
+    print("  involvement (sent/recv copies vs transactions addressed):")
+    for gid in range(len(group_sizes)):
+        sent = metrics.get(f"group{gid}_sent", 0.0)
+        recv = metrics.get(f"group{gid}_recv", 0.0)
+        dest = metrics.get(f"group{gid}_dest_txns", 0.0)
+        tag = "" if dest else "   <- non-destination"
+        print(f"    group {gid}: {sent:6.0f} sent {recv:6.0f} recv "
+              f"{dest:5.0f} txns{tag}")
+    print(f"  non-destination traffic: "
+          f"{metrics['nondest_messages']:.0f} copies")
+    for name, verdict in result.checkers.items():
+        print(f"  checker {name}: {verdict}")
+
+    if args.json:
+        record = {
+            "spec": spec.to_dict(),
+            "seed": args.seed,
+            "metrics": metrics,
+            "checkers": result.checkers,
+            "wall_seconds": round(result.wall_seconds, 4),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
 
 
 def _artifact_name(scenario: str, seed: int) -> str:
@@ -600,6 +735,8 @@ def main(argv: List[str] = None) -> int:
         return torture_main(argv[1:])
     if argv and argv[0] == "replay":
         return replay_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",

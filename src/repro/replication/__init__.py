@@ -12,10 +12,17 @@ The applications the paper's introduction motivates:
   wired into the experiment runtime (metering, logging, checkers).
 """
 
-from repro.replication.cluster import KVCluster, LedgerCluster
+from repro.replication.cluster import (
+    KVCluster,
+    LedgerCluster,
+    TappedEndpoint,
+    assert_group_convergence,
+    describe_divergence,
+)
 from repro.replication.kvstore import ReplicatedKVStore, WriteOp
 from repro.replication.ledger import ReplicatedLedger, Transfer
 from repro.replication.partition import PartitionMap
 
 __all__ = ["KVCluster", "LedgerCluster", "ReplicatedKVStore", "WriteOp",
-           "ReplicatedLedger", "Transfer", "PartitionMap"]
+           "ReplicatedLedger", "TappedEndpoint", "Transfer", "PartitionMap",
+           "assert_group_convergence", "describe_divergence"]

@@ -17,13 +17,15 @@ from repro.replication.partition import PartitionMap
 from repro.runtime.builder import System, build_system
 
 
-class _TappedEndpoint:
+class TappedEndpoint:
     """Adapter presenting a System-wired endpoint to a store.
 
     The system's builder already installed the real delivery handler
     (log + meter); stores subscribe through a delivery tap instead, so
     this adapter satisfies the store's ``set_delivery_handler`` call by
-    registering a tap.
+    registering a tap.  Shared by every application layer that rides an
+    already-built :class:`System` (the KV store, the ledger, and the
+    transactional store of :mod:`repro.store`).
     """
 
     def __init__(self, system: System, pid: int) -> None:
@@ -55,6 +57,51 @@ class _TappedEndpoint:
             self._endpoint.a_bcast(msg)
 
 
+def describe_divergence(states: Dict[int, Dict[str, object]]) -> str:
+    """Pinpoint how per-replica key/value snapshots disagree.
+
+    Returns a report naming every diverging key with the value each
+    replica holds for it — so a failed convergence assertion says
+    *which* pid and *which* key broke, not just that something did.
+    """
+    all_keys = sorted({key for state in states.values() for key in state})
+    _missing = object()
+    lines = []
+    for key in all_keys:
+        values = {pid: state.get(key, _missing)
+                  for pid, state in states.items()}
+        if len({repr(v) for v in values.values()}) > 1:
+            detail = ", ".join(
+                f"pid {pid}: " + ("<missing>" if v is _missing else repr(v))
+                for pid, v in sorted(values.items())
+            )
+            lines.append(f"key {key!r} -> {detail}")
+    if not lines:  # identical key/value maps compared unequal upstream
+        return "snapshots compare unequal but no key differs"
+    return "; ".join(lines)
+
+
+def assert_group_convergence(system, snapshot_of) -> None:
+    """Every group's correct replicas must hold identical snapshots.
+
+    ``snapshot_of(pid)`` returns the key/value map held by ``pid``'s
+    replica.  Shared by :class:`KVCluster` and the transactional store
+    cluster; a failure pinpoints the diverging group, key(s) and the
+    value each replica holds (see :func:`describe_divergence`).
+    """
+    for gid in system.topology.group_ids:
+        states = {
+            pid: snapshot_of(pid)
+            for pid in system.topology.members(gid)
+            if not system.network.process(pid).crashed
+        }
+        if len({repr(sorted(s.items())) for s in states.values()}) > 1:
+            raise AssertionError(
+                f"group {gid} replicas diverged: "
+                f"{describe_divergence(states)}"
+            )
+
+
 class KVCluster:
     """A partially replicated KV deployment (one store per process)."""
 
@@ -79,7 +126,7 @@ class KVCluster:
         pmap = PartitionMap(system.topology, explicit=partitions)
         stores = {}
         for pid in system.topology.processes:
-            adapter = _TappedEndpoint(system, pid)
+            adapter = TappedEndpoint(system, pid)
             stores[pid] = ReplicatedKVStore(
                 system.network.process(pid), pmap, adapter)
         return cls(system, pmap, stores)
@@ -93,18 +140,13 @@ class KVCluster:
         return [self.stores[p] for p in self.system.topology.members(gid)]
 
     def assert_convergence(self) -> None:
-        """Every group's correct replicas must hold identical state."""
-        for gid in self.system.topology.group_ids:
-            states = {}
-            for pid in self.system.topology.members(gid):
-                if self.system.network.process(pid).crashed:
-                    continue
-                states[pid] = repr(sorted(
-                    self.stores[pid].owned_snapshot().items()))
-            if len(set(states.values())) > 1:
-                raise AssertionError(
-                    f"group {gid} replicas diverged: {states}"
-                )
+        """Every group's correct replicas must hold identical state.
+
+        A failure pinpoints the diverging group, key(s) and the value
+        each replica holds (see :func:`assert_group_convergence`).
+        """
+        assert_group_convergence(
+            self.system, lambda pid: self.stores[pid].owned_snapshot())
 
 
 class LedgerCluster:
@@ -129,7 +171,7 @@ class LedgerCluster:
                               seed=seed, **system_kwargs)
         ledgers = {}
         for pid in system.topology.processes:
-            adapter = _TappedEndpoint(system, pid)
+            adapter = TappedEndpoint(system, pid)
             ledgers[pid] = ReplicatedLedger(
                 system.network.process(pid), adapter,
                 initial_balances=initial_balances,
@@ -141,12 +183,28 @@ class LedgerCluster:
         return self.ledgers[pid]
 
     def assert_convergence(self) -> None:
-        """All correct replicas must agree on balances and tx order."""
-        snapshots = {}
+        """All correct replicas must agree on balances and tx order.
+
+        A failure pinpoints the diverging account/pids (balances) or
+        the diverging replicas' committed orders.
+        """
+        balances_by_pid = {}
+        orders = {}
         for pid, ledger in self.ledgers.items():
             if self.system.network.process(pid).crashed:
                 continue
             balances, order = ledger.snapshot()
-            snapshots[pid] = (tuple(sorted(balances.items())), order)
-        if len(set(snapshots.values())) > 1:
-            raise AssertionError(f"ledger replicas diverged: {snapshots}")
+            balances_by_pid[pid] = balances
+            orders[pid] = order
+        if len({repr(sorted(b.items()))
+                for b in balances_by_pid.values()}) > 1:
+            raise AssertionError(
+                f"ledger balances diverged: "
+                f"{describe_divergence(balances_by_pid)}"
+            )
+        if len(set(orders.values())) > 1:
+            detail = "; ".join(f"pid {pid}: {list(order)}"
+                               for pid, order in sorted(orders.items()))
+            raise AssertionError(
+                f"ledger commit orders diverged: {detail}"
+            )

@@ -98,9 +98,16 @@ class ReplicatedKVStore:
 
         The operation is multicast to exactly the groups owning the
         touched keys (genuine multicast keeps everyone else out of it).
+
+        Raises:
+            ValueError: If ``writes`` is empty — a no-op cast would
+                still be ordered and replicated everywhere (matching
+                the ``burst_workload``/``poisson_workload`` guards).
         """
         if not writes:
-            raise ValueError("empty write batch")
+            raise ValueError(
+                f"put_many needs a non-empty write batch, got {writes!r}"
+            )
         op = WriteOp(
             op_id=f"op{next(_OP_IDS):06d}",
             writes=tuple(sorted(writes.items())),

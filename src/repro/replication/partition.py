@@ -30,17 +30,36 @@ class PartitionMap:
         for key, gid in self.explicit.items():
             if gid not in topology.group_ids:
                 raise ValueError(f"key {key!r} mapped to unknown group {gid}")
+        # Routing runs group_of per key per operation; hashing the same
+        # hot keys over and over would dominate the serving layer's
+        # submit path.  The assignment is immutable, so memoise it.
+        self._hash_memo: Dict[str, int] = {}
 
     def group_of(self, key: str) -> int:
-        """The group replicating ``key``."""
+        """The group replicating ``key`` (memoised hash assignment)."""
         if key in self.explicit:
             return self.explicit[key]
-        digest = hashlib.sha256(key.encode()).digest()
-        return int.from_bytes(digest[:4], "big") % self.topology.n_groups
+        gid = self._hash_memo.get(key)
+        if gid is None:
+            digest = hashlib.sha256(key.encode()).digest()
+            gid = int.from_bytes(digest[:4], "big") % self.topology.n_groups
+            self._hash_memo[key] = gid
+        return gid
 
     def groups_of(self, keys: Iterable[str]) -> Tuple[int, ...]:
-        """The destination-group set of an operation touching ``keys``."""
-        return tuple(sorted({self.group_of(k) for k in keys}))
+        """The destination-group set of an operation touching ``keys``.
+
+        Raises:
+            ValueError: If ``keys`` is empty — an empty destination set
+                would silently produce an undeliverable cast.
+        """
+        dest = tuple(sorted({self.group_of(k) for k in keys}))
+        if not dest:
+            raise ValueError(
+                "groups_of needs at least one key: an operation touching "
+                "no keys has no destination groups"
+            )
+        return dest
 
     def is_replica(self, pid: int, key: str) -> bool:
         """Does process ``pid`` hold a replica of ``key``?"""

@@ -1,0 +1,254 @@
+"""Streaming one-copy-serializability checker for the store.
+
+One-shot transactions over atomic multicast are serialisable by
+construction *if the protocol keeps its promises*; this checker refuses
+to take that on faith.  It verifies, from observed behaviour only:
+
+1. **replica consistency** (streaming) — within each partition, every
+   replica's execution log must be a prefix of one per-group canonical
+   order.  This is the within-group reduction of PR 3's streaming
+   prefix-order checker, re-run at the transaction level: it folds over
+   individual deliveries through :meth:`on_delivery`, so it can run
+   incrementally via ``System.add_delivery_hook`` and flag the exact
+   delivery that diverges;
+2. **atomicity** (finalize) — a transaction executed by any partition
+   must be executed by every destination partition that still has a
+   correct replica (no partial commits);
+3. **global embedding** (finalize) — the per-partition canonical
+   orders, read as precedence constraints, must admit a single global
+   serial order (Kahn's topological sort; a cycle is a serializability
+   violation);
+4. **one-copy equivalence** (finalize) — replaying every transaction
+   in that global order on a *single-copy* store must reproduce both
+   every read value and cas outcome each replica observed at execution
+   time, and every correct replica's final partition state.
+
+Steps 1–3 establish that some serial order exists; step 4 establishes
+that the distributed execution is indistinguishable from executing it
+on one copy — which is the definition of one-copy serializability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.interfaces import AppMessage
+from repro.net.topology import Topology
+from repro.store.transaction import Transaction, execute
+
+
+class SerializabilityViolation(AssertionError):
+    """The store's execution does not embed into one serial order.
+
+    Mirrors :class:`~repro.checkers.properties.PropertyViolation`:
+    ``context`` carries machine-readable details (kind, pid, txn, key,
+    position) for the adversary explorer's structured records.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.context: Dict[str, object] = context
+
+
+class StreamingSerializabilityChecker:
+    """Incremental collector + final one-copy verifier.
+
+    Feed every A-Deliver event through :meth:`on_delivery` (directly,
+    or via ``system.add_delivery_hook``); replica-consistency
+    violations raise at the offending delivery.  After the run,
+    :meth:`finalize` runs the atomicity, embedding and replay checks
+    against the finished cluster.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._group_order: Dict[int, List[str]] = {}
+        self._positions: Dict[int, int] = {}
+        self._txns: Dict[str, Transaction] = {}
+        self.deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Streaming half
+    # ------------------------------------------------------------------
+    def on_delivery(self, pid: int, msg: AppMessage) -> None:
+        """Fold one execution event into the per-group canonical orders."""
+        txn = Transaction.from_payload(msg.payload)
+        self._txns.setdefault(txn.txn_id, txn)
+        gid = self._topology.group_of(pid)
+        order = self._group_order.setdefault(gid, [])
+        position = self._positions.get(pid, 0)
+        if position < len(order):
+            if order[position] != txn.txn_id:
+                raise SerializabilityViolation(
+                    f"replica {pid} executed {txn.txn_id} at position "
+                    f"{position}, but group {gid}'s canonical order has "
+                    f"{order[position]} there — partition replicas "
+                    f"disagree on their serial order",
+                    kind="replica_divergence", pid=pid, gid=gid,
+                    txn=txn.txn_id, position=position,
+                    expected=order[position],
+                )
+        else:
+            order.append(txn.txn_id)
+        self._positions[pid] = position + 1
+        self.deliveries += 1
+
+    def group_orders(self) -> Dict[int, Tuple[str, ...]]:
+        """Per-group canonical execution orders observed so far."""
+        return {gid: tuple(order)
+                for gid, order in self._group_order.items()}
+
+    # ------------------------------------------------------------------
+    # Final half
+    # ------------------------------------------------------------------
+    def finalize(self, cluster) -> Tuple[str, ...]:
+        """Run atomicity + embedding + one-copy replay; returns the
+        global serial order on success."""
+        self._check_atomicity(cluster)
+        order = self._global_order()
+        self._replay_and_compare(cluster, order)
+        return order
+
+    def _correct_members(self, cluster, gid: int) -> List[int]:
+        network = cluster.system.network
+        return [pid for pid in self._topology.members(gid)
+                if not network.process(pid).crashed]
+
+    def _check_atomicity(self, cluster) -> None:
+        cast_map = cluster.system.log.cast_map
+        executed_in: Dict[str, Set[int]] = {}
+        for gid, order in self._group_order.items():
+            for txn_id in order:
+                executed_in.setdefault(txn_id, set()).add(gid)
+        for txn_id, gids in sorted(executed_in.items()):
+            cast = cast_map.get(txn_id)
+            if cast is None:
+                raise SerializabilityViolation(
+                    f"transaction {txn_id} was executed but never "
+                    f"submitted",
+                    kind="phantom_txn", txn=txn_id,
+                )
+            for gid in cast.dest_groups:
+                if gid in gids:
+                    continue
+                if not self._correct_members(cluster, gid):
+                    continue  # the whole partition crashed; excusable
+                raise SerializabilityViolation(
+                    f"partial commit: {txn_id} was executed by "
+                    f"partition(s) {sorted(gids)} but destination "
+                    f"partition {gid} (with correct replicas) never "
+                    f"executed it",
+                    kind="partial_commit", txn=txn_id, gid=gid,
+                    executed_in=sorted(gids),
+                )
+
+    def _global_order(self) -> Tuple[str, ...]:
+        """Kahn's topological sort over the per-group precedence chains.
+
+        Ties (transactions with no constraint between them) break by
+        txn id, so the returned order is deterministic.
+        """
+        successors: Dict[str, Set[str]] = {t: set() for t in self._txns}
+        indegree: Dict[str, int] = {t: 0 for t in self._txns}
+        for order in self._group_order.values():
+            for earlier, later in zip(order, order[1:]):
+                if later not in successors[earlier]:
+                    successors[earlier].add(later)
+                    indegree[later] += 1
+        ready = [t for t, deg in indegree.items() if deg == 0]
+        heapq.heapify(ready)
+        serial: List[str] = []
+        while ready:
+            txn_id = heapq.heappop(ready)
+            serial.append(txn_id)
+            for nxt in successors[txn_id]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    heapq.heappush(ready, nxt)
+        if len(serial) != len(self._txns):
+            stuck = sorted(t for t, deg in indegree.items() if deg > 0)
+            raise SerializabilityViolation(
+                f"no global serial order embeds the per-partition logs: "
+                f"precedence cycle through {stuck[:6]}"
+                + ("..." if len(stuck) > 6 else ""),
+                kind="cycle", transactions=stuck,
+            )
+        return tuple(serial)
+
+    def _replay_and_compare(self, cluster, order: Tuple[str, ...]) -> None:
+        pmap = cluster.partition_map
+        single_copy: Dict[str, object] = {}
+        for txn_id in order:
+            txn = self._txns[txn_id]
+            expected = execute(txn, single_copy)
+            for index, op in enumerate(txn.ops):
+                key = op[1]
+                gid = pmap.group_of(key)
+                for pid in self._correct_members(cluster, gid):
+                    observed = cluster.stores[pid].effects_of(txn_id)
+                    if observed is None:
+                        continue  # atomicity already vouched coverage
+                    if op[0] == "get":
+                        want = expected.reads[index]
+                        got = observed.reads.get(index)
+                        if got != want:
+                            raise SerializabilityViolation(
+                                f"read divergence: replica {pid} served "
+                                f"{txn_id} op#{index} get({key!r}) = "
+                                f"{got!r}, but the one-copy replay "
+                                f"reads {want!r}",
+                                kind="read_divergence", pid=pid,
+                                txn=txn_id, key=key, op_index=index,
+                            )
+                    elif op[0] == "cas":
+                        want = expected.cas_applied[index]
+                        got = observed.cas_applied.get(index)
+                        if got != want:
+                            raise SerializabilityViolation(
+                                f"cas divergence: replica {pid} decided "
+                                f"{txn_id} op#{index} cas({key!r}) "
+                                f"applied={got!r}, one-copy replay "
+                                f"says {want!r}",
+                                kind="cas_divergence", pid=pid,
+                                txn=txn_id, key=key, op_index=index,
+                            )
+        # Final states: every correct replica must hold exactly the
+        # one-copy state projected onto its partition.
+        projected: Dict[int, Dict[str, object]] = {}
+        for key, value in single_copy.items():
+            projected.setdefault(pmap.group_of(key), {})[key] = value
+        for gid in self._topology.group_ids:
+            expected_state = projected.get(gid, {})
+            for pid in self._correct_members(cluster, gid):
+                got_state = cluster.stores[pid].state
+                if got_state == expected_state:
+                    continue
+                diverging = sorted(
+                    key for key in set(got_state) | set(expected_state)
+                    if got_state.get(key) != expected_state.get(key)
+                )
+                key = diverging[0]
+                raise SerializabilityViolation(
+                    f"state divergence: replica {pid} (partition {gid}) "
+                    f"holds {key!r} = {got_state.get(key)!r}, one-copy "
+                    f"replay ends with {expected_state.get(key)!r} "
+                    f"({len(diverging)} diverging key(s))",
+                    kind="state_divergence", pid=pid, gid=gid, key=key,
+                )
+
+
+def check_serializability(cluster) -> Tuple[str, ...]:
+    """Post-hoc one-copy-serializability check over a finished run.
+
+    Feeds the recorded delivery log through the streaming core (the
+    fold is order-insensitive in verdict, exactly like the streaming
+    property checkers) and runs the final checks; returns the global
+    serial order on success.
+    """
+    checker = StreamingSerializabilityChecker(cluster.system.topology)
+    log = cluster.system.log
+    for pid in log.processes():
+        for msg in log.delivered_messages(pid):
+            checker.on_delivery(pid, msg)
+    return checker.finalize(cluster)

@@ -1,0 +1,97 @@
+"""Client sessions and commit-latency accounting (simulated time).
+
+A :class:`StoreClient` is the request layer: it owns a session against
+one replica, stamps each submitted transaction with its issue time, and
+asks the shared :class:`CommitTracker` to watch the A-Deliver stream
+for the commit point.
+
+**Commit point.**  A one-shot transaction is *committed* at the first
+virtual instant by which every destination partition has executed it at
+at least one replica — from then on its position in the global serial
+order is fixed everywhere its data lives, and a read served by any of
+those partitions reflects it.  The tracker observes this through the
+system-wide delivery hook (the same subscription surface the streaming
+checkers use), so latency accounting adds zero messages to the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.interfaces import AppMessage
+from repro.store.service import TransactionalStore
+from repro.store.transaction import Transaction
+
+
+class CommitTracker:
+    """Watches deliveries and records per-transaction commit latency."""
+
+    def __init__(self, system) -> None:
+        self._system = system
+        self._topology = system.topology
+        # txn id -> (issue time, destination groups not yet reached).
+        self._pending: Dict[str, Tuple[float, Set[int]]] = {}
+        #: txn id -> (issue time, commit time), commit order.
+        self.committed: Dict[str, Tuple[float, float]] = {}
+        system.add_delivery_hook(self.on_delivery)
+
+    def register(self, txn_id: str, dest_groups, issue_time: float) -> None:
+        if txn_id in self._pending or txn_id in self.committed:
+            raise ValueError(f"transaction {txn_id!r} already tracked")
+        self._pending[txn_id] = (issue_time, set(dest_groups))
+
+    def on_delivery(self, pid: int, msg: AppMessage) -> None:
+        entry = self._pending.get(msg.mid)
+        if entry is None:
+            return
+        issue_time, remaining = entry
+        remaining.discard(self._topology.group_of(pid))
+        if not remaining:
+            del self._pending[msg.mid]
+            self.committed[msg.mid] = (issue_time, self._system.sim.now)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """Commit latency of every committed transaction, commit order."""
+        return [commit - issue
+                for issue, commit in self.committed.values()]
+
+    def uncommitted(self) -> List[str]:
+        """Transactions issued but never fully covered (e.g. crashes)."""
+        return sorted(self._pending)
+
+    def commit_span(self) -> Optional[Tuple[float, float]]:
+        """(first issue, last commit) across committed transactions."""
+        if not self.committed:
+            return None
+        return (min(issue for issue, _ in self.committed.values()),
+                max(commit for _, commit in self.committed.values()))
+
+
+class StoreClient:
+    """One client session, bound to a replica of the serving layer."""
+
+    def __init__(self, store: TransactionalStore,
+                 tracker: Optional[CommitTracker] = None) -> None:
+        self.store = store
+        self.tracker = tracker
+        #: Transactions this session issued, in issue order.
+        self.issued: List[str] = []
+
+    @property
+    def pid(self) -> int:
+        return self.store.process.pid
+
+    def submit(self, txn_id: str, ops) -> AppMessage:
+        """Issue a one-shot transaction now; returns the cast message."""
+        txn = Transaction(txn_id=txn_id, client=self.pid,
+                          ops=tuple(tuple(op) for op in ops))
+        if self.tracker is not None:
+            self.tracker.register(
+                txn.txn_id, self.store.destinations_of(txn),
+                issue_time=self.store.process.sim.now,
+            )
+        self.issued.append(txn.txn_id)
+        return self.store.submit(txn)

@@ -1,0 +1,127 @@
+"""The serving replica: execute delivered transactions over a partition.
+
+:class:`TransactionalStore` is one process's replica of its group's
+partition.  It routes submitted transactions (genuinely, to exactly the
+owner groups — or system-wide under ``routing="broadcast"``, the
+introduction's non-genuine alternative) and, on A-Deliver, executes
+them in delivery order through the shared deterministic executor of
+:mod:`repro.store.transaction`, restricted to the keys it owns.
+
+The replica journals everything the serializability checker needs:
+the per-replica execution log (``applied``), the observed read values
+and cas outcomes per transaction (``effects_of``), and the live
+partition state (``owned_snapshot``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.interfaces import AppMessage
+from repro.replication.partition import PartitionMap
+from repro.sim.process import Process
+from repro.store.transaction import Transaction, TxnEffects, execute
+
+#: Routing disciplines: genuine multicast to the owner groups, or the
+#: broadcast-everything reduction the paper's introduction compares
+#: against (every group receives and orders every transaction).
+ROUTINGS = ("genuine", "broadcast")
+
+# Completion callback: fired with the txn id when the local replica
+# executes the transaction (its global position is then fixed).
+CompletionHandler = Callable[[str], None]
+
+
+class TransactionalStore:
+    """One process's replica of the transactional partitioned store."""
+
+    def __init__(
+        self,
+        process: Process,
+        partition_map: PartitionMap,
+        multicast,
+        routing: str = "genuine",
+    ) -> None:
+        """Wrap a multicast endpoint into a transactional replica.
+
+        The endpoint must not have a delivery handler installed; the
+        store registers its own.
+        """
+        if routing not in ROUTINGS:
+            raise ValueError(
+                f"unknown routing {routing!r}; have {list(ROUTINGS)}"
+            )
+        self.process = process
+        self.partition_map = partition_map
+        self.multicast = multicast
+        self.routing = routing
+        self.my_gid = partition_map.topology.group_of(process.pid)
+        self.state: Dict[str, object] = {}
+        self.applied: List[str] = []          # txn ids, execution order
+        self.applied_txns: List[Transaction] = []
+        self._effects: Dict[str, TxnEffects] = {}
+        self._waiters: Dict[str, List[CompletionHandler]] = {}
+        multicast.set_delivery_handler(self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def destinations_of(self, txn: Transaction):
+        """The destination-group set ``txn`` will be multicast to."""
+        if self.routing == "broadcast":
+            return tuple(self.partition_map.topology.group_ids)
+        return self.partition_map.groups_of(txn.keys())
+
+    def submit(self, txn: Transaction,
+               on_applied: Optional[CompletionHandler] = None) -> AppMessage:
+        """Atomically multicast a one-shot transaction; returns the cast.
+
+        Under genuine routing the destination set is exactly the groups
+        owning the declared key set; under broadcast routing it is every
+        group (the non-genuine reduction the campaigns quantify).
+        """
+        dest = self.destinations_of(txn)
+        if on_applied is not None:
+            if self.my_gid not in dest:
+                raise ValueError(
+                    "completion callbacks need the submitting replica's "
+                    "group among the destinations (the local replica "
+                    "must execute the transaction)"
+                )
+            self._waiters.setdefault(txn.txn_id, []).append(on_applied)
+        msg = AppMessage.fresh(sender=self.process.pid, dest_groups=dest,
+                               payload=txn.to_payload(), mid=txn.txn_id)
+        self.multicast.a_mcast(msg)
+        return msg
+
+    def get(self, key: str) -> object:
+        """Read a key from the local replica (must own the partition)."""
+        if not self.partition_map.is_replica(self.process.pid, key):
+            raise KeyError(
+                f"process {self.process.pid} does not replicate {key!r} "
+                f"(it lives in group {self.partition_map.group_of(key)})"
+            )
+        return self.state.get(key)
+
+    def owned_snapshot(self) -> Dict[str, object]:
+        """All locally replicated key/value pairs."""
+        return dict(self.state)
+
+    def effects_of(self, txn_id: str) -> Optional[TxnEffects]:
+        """The effects this replica observed executing ``txn_id``."""
+        return self._effects.get(txn_id)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def _owns(self, key: str) -> bool:
+        return self.partition_map.group_of(key) == self.my_gid
+
+    def _on_deliver(self, msg: AppMessage) -> None:
+        txn = Transaction.from_payload(msg.payload)
+        self.applied.append(txn.txn_id)
+        self.applied_txns.append(txn)
+        self._effects[txn.txn_id] = execute(txn, self.state,
+                                            owned=self._owns)
+        for waiter in self._waiters.pop(txn.txn_id, []):
+            waiter(txn.txn_id)

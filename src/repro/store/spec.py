@@ -1,0 +1,130 @@
+"""Declarative store scenario knobs.
+
+:class:`StoreSpec` plays the role :class:`~repro.campaigns.spec.
+WorkloadSpec` plays for plain cast workloads: a frozen, picklable,
+JSON-round-trippable bundle of every knob a transactional-store
+scenario needs — keyspace size and placement, routing discipline,
+client arrival process, and the YCSB-style mix (zipf key popularity,
+read fraction, multi-partition ratio).  ``ScenarioSpec.store`` carries
+one; the campaign runner sees it and builds a
+:class:`~repro.store.cluster.StoreCluster` instead of scheduling plain
+casts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.store.service import ROUTINGS
+
+#: Arrival processes for client transactions.
+ARRIVALS = ("poisson", "periodic")
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Everything a transactional-store scenario needs, as plain data.
+
+    Keyspace: ``n_keys`` keys named ``k00000...``, assigned round-robin
+    to ``data_groups`` (None = every group).  Groups outside
+    ``data_groups`` replicate nothing — the measurement instrument for
+    the genuineness claim: under genuine routing they must stay
+    completely idle, under broadcast routing they are dragged into
+    every transaction.
+
+    Mix: each transaction touches 1 partition, or (with probability
+    ``multi_partition_fraction``) 2..``max_partitions`` distinct ones,
+    drawing one zipf-popular key per partition plus extra keys up to
+    ``ops_per_txn``; each op is a read with probability
+    ``read_fraction``, else a put/incr/cas write.
+    """
+
+    n_keys: int = 64
+    data_groups: Optional[Tuple[int, ...]] = None
+    routing: str = "genuine"
+    clients_per_group: int = 1
+    # Arrival process of client transactions.
+    kind: str = "poisson"
+    rate: float = 1.0
+    duration: float = 50.0
+    period: float = 1.0
+    count: int = 50
+    start: float = 0.0
+    # YCSB-style mix.
+    read_fraction: float = 0.5
+    multi_partition_fraction: float = 0.25
+    max_partitions: int = 2
+    ops_per_txn: int = 2
+    zipf_skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ValueError(
+                f"StoreSpec needs a positive n_keys, got {self.n_keys!r}"
+            )
+        if self.routing not in ROUTINGS:
+            raise ValueError(
+                f"unknown routing {self.routing!r}; have {list(ROUTINGS)}"
+            )
+        if self.kind not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; have {list(ARRIVALS)}"
+            )
+        if self.clients_per_group < 1:
+            raise ValueError(
+                f"StoreSpec needs a positive clients_per_group, "
+                f"got {self.clients_per_group!r}"
+            )
+        for name in ("read_fraction", "multi_partition_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"StoreSpec {name} must be within [0, 1], got {value!r}"
+                )
+        if self.max_partitions < 2:
+            raise ValueError(
+                f"StoreSpec max_partitions must be >= 2, "
+                f"got {self.max_partitions!r}"
+            )
+        if self.ops_per_txn < 1:
+            raise ValueError(
+                f"StoreSpec needs a positive ops_per_txn, "
+                f"got {self.ops_per_txn!r}"
+            )
+        if self.zipf_skew < 0:
+            raise ValueError(
+                f"StoreSpec needs a non-negative zipf_skew, "
+                f"got {self.zipf_skew!r}"
+            )
+        if self.kind == "poisson" and self.rate <= 0:
+            raise ValueError(
+                f"StoreSpec poisson arrivals need a positive rate, "
+                f"got {self.rate!r}"
+            )
+        if self.kind == "periodic":
+            if self.period <= 0:
+                raise ValueError(
+                    f"StoreSpec periodic arrivals need a positive period, "
+                    f"got {self.period!r}"
+                )
+            if self.count < 0:
+                raise ValueError(
+                    f"StoreSpec periodic arrivals need a non-negative "
+                    f"count, got {self.count!r}"
+                )
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time by which every transaction has been issued."""
+        if self.kind == "poisson":
+            return self.start + self.duration
+        return self.start + self.period * max(self.count - 1, 0)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreSpec":
+        """Rebuild from JSON-safe plain data (tuples revived)."""
+        data = dict(data)
+        if data.get("data_groups") is not None:
+            data["data_groups"] = tuple(data["data_groups"])
+        return cls(**data)

@@ -256,3 +256,60 @@ class TestProfileVerb:
         with pytest.raises(SystemExit) as excinfo:
             main(["profile", "--groups", "2,x"])
         assert excinfo.value.code == 2
+
+
+class TestStoreVerb:
+    ARGS = ["store", "--groups", "2,2,2", "--keys", "12", "--rate", "0.8",
+            "--duration", "15", "--multi-partition", "0.4", "--seed", "1"]
+
+    def test_store_smoke_prints_involvement_and_verdicts(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "committed of" in out
+        assert "involvement" in out
+        assert "checker serializability: ok" in out
+        assert "checker convergence: ok" in out
+        assert "checker genuineness: ok" in out
+
+    def test_store_spectator_groups_flagged(self, capsys):
+        assert main(self.ARGS + ["--groups", "2,2,2,2",
+                                 "--data-groups", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "<- non-destination" in out
+        assert "non-destination traffic: 0 copies" in out
+
+    def test_store_json_record(self, tmp_path, capsys):
+        path = tmp_path / "store.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        record = json.loads(path.read_text())
+        assert record["checkers"]["serializability"] == "ok"
+        assert record["metrics"]["txn_committed"] > 0
+        assert record["spec"]["store"]["routing"] == "genuine"
+
+    def test_store_broadcast_routing(self, capsys):
+        assert main(self.ARGS + ["--protocol", "a2",
+                                 "--routing", "broadcast"]) == 0
+        out = capsys.readouterr().out
+        assert "broadcast routing" in out
+
+    def test_store_unknown_protocol_exits_2(self, capsys):
+        assert main(self.ARGS + ["--protocol", "nope"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_store_genuine_over_broadcast_protocol_exits_2(self, capsys):
+        assert main(self.ARGS + ["--protocol", "a2"]) == 2
+        assert "invalid store scenario" in capsys.readouterr().err
+
+    def test_store_bad_fraction_exits_2(self, capsys):
+        assert main(self.ARGS + ["--read-fraction", "1.5"]) == 2
+        assert "invalid store scenario" in capsys.readouterr().err
+
+    def test_store_bad_groups_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "--groups", "2,x"])
+        assert excinfo.value.code == 2
+
+    def test_store_listed_in_campaigns(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "store-scaling" in out and "txn-mix" in out

@@ -1,0 +1,141 @@
+"""Divergence-report pinpointing and replication-layer guards.
+
+Covers the thin spots called out in PR 5's satellites: the ledger's
+unit-level behaviour, convergence failures naming the exact diverging
+pid/key, the partition map's memoised hashing plus its empty-key guard,
+and the KV store's empty-batch validation.
+"""
+
+import pytest
+
+from repro.net.topology import Topology
+from repro.replication import (
+    KVCluster,
+    LedgerCluster,
+    PartitionMap,
+    describe_divergence,
+)
+
+
+def kv_cluster():
+    cluster = KVCluster.build(
+        [2, 2], partitions={"users": 0, "orders": 1}, protocol="a1",
+        seed=1,
+    )
+    cluster.store(0).put("users", "alice")
+    cluster.store(2).put("orders", ["o1"])
+    cluster.system.run_quiescent()
+    return cluster
+
+
+def ledger_cluster():
+    cluster = LedgerCluster.build(
+        [2, 2], initial_balances={"a": 100, "b": 50}, protocol="a2",
+        seed=1,
+    )
+    cluster.ledger(0).transfer("a", "b", 30)
+    cluster.system.run_quiescent()
+    return cluster
+
+
+class TestDescribeDivergence:
+    def test_names_key_and_per_pid_values(self):
+        detail = describe_divergence({0: {"x": 1}, 1: {"x": 2}})
+        assert "key 'x'" in detail
+        assert "pid 0: 1" in detail and "pid 1: 2" in detail
+
+    def test_missing_key_reported_as_missing(self):
+        detail = describe_divergence({0: {"x": 1}, 1: {}})
+        assert "pid 1: <missing>" in detail
+
+    def test_multiple_diverging_keys_all_listed(self):
+        detail = describe_divergence(
+            {0: {"x": 1, "y": 1}, 1: {"x": 2, "y": 2}})
+        assert "key 'x'" in detail and "key 'y'" in detail
+
+
+class TestKVConvergenceReporting:
+    def test_green_run_converges(self):
+        kv_cluster().assert_convergence()
+
+    def test_failure_pinpoints_pid_and_key(self):
+        cluster = kv_cluster()
+        cluster.store(1).state["users"] = "mallory"
+        with pytest.raises(AssertionError) as exc:
+            cluster.assert_convergence()
+        message = str(exc.value)
+        assert "group 0" in message
+        assert "key 'users'" in message
+        assert "pid 1: 'mallory'" in message
+        assert "pid 0: 'alice'" in message
+
+    def test_crashed_replicas_excluded_from_comparison(self):
+        cluster = kv_cluster()
+        cluster.store(1).state["users"] = "mallory"
+        cluster.system.network.process(1).crashed = True
+        cluster.assert_convergence()  # only correct replicas compared
+
+
+class TestLedgerReporting:
+    def test_green_run_converges(self):
+        ledger_cluster().assert_convergence()
+
+    def test_balance_divergence_pinpoints_account(self):
+        cluster = ledger_cluster()
+        cluster.ledger(3).balances["a"] = 999
+        with pytest.raises(AssertionError) as exc:
+            cluster.assert_convergence()
+        message = str(exc.value)
+        assert "balances diverged" in message
+        assert "key 'a'" in message
+        assert "pid 3: 999" in message
+
+    def test_order_divergence_pinpoints_replicas(self):
+        cluster = ledger_cluster()
+        cluster.ledger(2).committed.append("txFAKE")
+        with pytest.raises(AssertionError) as exc:
+            cluster.assert_convergence()
+        message = str(exc.value)
+        assert "commit orders diverged" in message
+        assert "pid 2" in message and "txFAKE" in message
+
+    def test_rejected_transfers_tracked(self):
+        cluster = ledger_cluster()
+        cluster.ledger(1).transfer("a", "b", 10_000)  # insufficient
+        cluster.system.run_quiescent()
+        cluster.assert_convergence()
+        assert len(cluster.ledger(0).rejected) == 1
+        assert cluster.ledger(0).balance("a") == 70
+
+    def test_balance_of_unknown_account_is_zero(self):
+        assert ledger_cluster().ledger(0).balance("nobody") == 0
+
+
+class TestPartitionMapMemo:
+    def test_hash_assignment_memoised(self):
+        pmap = PartitionMap(Topology([2, 2, 2]))
+        first = pmap.group_of("hot-key")
+        assert pmap._hash_memo == {"hot-key": first}
+        # Poison the memo: a second lookup must come from it, proving
+        # the sha256 path is not re-run per call.
+        pmap._hash_memo["hot-key"] = (first + 1) % 3
+        assert pmap.group_of("hot-key") == (first + 1) % 3
+
+    def test_explicit_keys_bypass_memo(self):
+        pmap = PartitionMap(Topology([2, 2]), explicit={"users": 1})
+        assert pmap.group_of("users") == 1
+        assert "users" not in pmap._hash_memo
+
+    def test_groups_of_empty_keys_rejected(self):
+        pmap = PartitionMap(Topology([2, 2]))
+        with pytest.raises(ValueError, match="at least one key"):
+            pmap.groups_of(())
+        with pytest.raises(ValueError, match="at least one key"):
+            pmap.groups_of([])
+
+
+class TestPutManyValidation:
+    def test_empty_write_batch_rejected(self):
+        cluster = KVCluster.build([2, 2], protocol="a1", seed=1)
+        with pytest.raises(ValueError, match="non-empty write batch"):
+            cluster.store(0).put_many({})
