@@ -69,6 +69,15 @@ class LatencySpec:
             )
         raise ValueError(f"unknown latency kind {self.kind!r}")
 
+    def min_inter_group(self) -> float:
+        """The parallel kernel's lookahead for this latency spec.
+
+        Delegates to :meth:`LatencyModel.min_inter_group`; raises
+        :class:`ValueError` when the inter-group latency has no strictly
+        positive lower bound (no conservative window exists then).
+        """
+        return self.build().min_inter_group()
+
     @classmethod
     def logical(cls) -> "LatencySpec":
         return cls(kind="logical")
@@ -246,6 +255,12 @@ class ScenarioSpec:
     profile: bool = False
     start_rounds: bool = False
     max_events: int = 10_000_000
+    # Simulation kernel: "serial" (one global event loop), "parallel"
+    # (per-group sub-kernels, bit-identical within the envelope of
+    # :mod:`repro.runtime.parallel`) or "auto" (parallel when eligible).
+    kernel: str = "serial"
+    kernel_jobs: int = 0          # 0 = one worker per group
+    kernel_executor: str = "inline"
     protocol_kwargs: Tuple[Tuple[str, object], ...] = ()
 
     def kwargs_dict(self) -> Dict[str, object]:

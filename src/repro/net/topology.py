@@ -23,6 +23,15 @@ class Distribution:
     def sample(self, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def lower_bound(self) -> float:
+        """Infimum of the support.
+
+        The conservative parallel kernel derives its lookahead from the
+        smallest delay an inter-group link can ever produce; every
+        distribution must therefore know its own floor.
+        """
+        raise NotImplementedError
+
 
 @dataclass
 class Fixed(Distribution):
@@ -31,6 +40,9 @@ class Fixed(Distribution):
     value: float
 
     def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def lower_bound(self) -> float:
         return self.value
 
 
@@ -43,6 +55,9 @@ class Uniform(Distribution):
 
     def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.lo, self.hi)
+
+    def lower_bound(self) -> float:
+        return self.lo
 
 
 @dataclass
@@ -60,6 +75,9 @@ class Jittered(Distribution):
         if self.jitter <= 0:
             return self.base
         return self.base + rng.expovariate(1.0 / self.jitter)
+
+    def lower_bound(self) -> float:
+        return self.base
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +127,44 @@ class LatencyModel:
         if type(dist) is Fixed:
             return dist.value
         return None
+
+    def min_inter_group(self) -> float:
+        """Smallest delay any inter-group link can ever produce.
+
+        This is the conservative parallel kernel's lookahead: a message
+        crossing groups at time ``t`` cannot arrive before
+        ``t + min_inter_group()``, so an epoch of that width can be
+        executed by every group independently.
+
+        Raises:
+            ValueError: When the bound is not strictly positive (a
+                conservative synchronizer with zero lookahead can never
+                advance — fail fast instead of deadlocking) or when no
+                inter-group distribution is configured.
+        """
+        if self.inter is None:
+            raise ValueError("latency model has no inter-group distribution")
+        bounds = [self.inter.lower_bound()]
+        bounds.extend(dist.lower_bound()
+                      for dist in self.pairwise_inter.values())
+        lookahead = min(bounds)
+        if lookahead <= 0:
+            raise ValueError(
+                f"inter-group latency lower bound is {lookahead!r}; the "
+                f"parallel kernel needs a strictly positive lookahead"
+            )
+        return lookahead
+
+    def all_fixed(self) -> bool:
+        """True when every link delay is a constant (no RNG draws).
+
+        The parallel kernel requires this: per-copy latency sampling
+        consumes a shared random stream whose draw order depends on the
+        global event interleaving, which per-group sub-kernels do not
+        reproduce.
+        """
+        dists = [self.intra, self.inter, *self.pairwise_inter.values()]
+        return all(type(d) is Fixed for d in dists)
 
     @classmethod
     def wan(

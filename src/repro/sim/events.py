@@ -5,6 +5,16 @@ order.  Ties are broken by a monotonically increasing sequence number so
 that runs are fully deterministic: two events scheduled for the same
 virtual time always execute in the order they were scheduled.
 
+**The ``(time, seq)`` tie-break is a pinned contract**, not an
+implementation detail: the parallel kernel's bit-identical claim rests
+on reproducing exactly this total order from per-group sub-kernels (see
+:mod:`repro.sim.partition`), and ``tests/test_event_queue.py`` regression-
+tests it with colliding timestamps.  ``seq`` only needs to be totally
+ordered and consistent with scheduling order — the serial queue uses an
+``int`` counter, the partitioned queue a nested pedigree tuple
+``(sched_time, parent_seq, call_index)`` that embeds the same order
+across sub-kernels.
+
 Events sit on the hot path of every simulated message, so the queue's
 heap holds ``(time, seq, event)`` triples — the ``(time, seq)`` prefix
 is unique, which keeps every heap comparison inside the C tuple
@@ -75,6 +85,9 @@ class Event:
 
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects.
+
+    Equal-timestamp events pop in insertion (scheduling) order — the
+    ``(time, seq)`` contract documented in the module docstring.
 
     ``len(queue)`` is the number of *live* events: cancelled events still
     occupy heap slots until lazily popped, but are never counted.

@@ -103,9 +103,17 @@ class StoreCluster:
         return cls.attach(system, store or StoreSpec())
 
     @classmethod
-    def attach(cls, system: System, spec: StoreSpec) -> "StoreCluster":
+    def attach(cls, system: System, spec: StoreSpec,
+               owned_pids: Optional[frozenset] = None) -> "StoreCluster":
         """Mount the serving layer on a built system and schedule its
-        workload; the cluster becomes ``system.store_cluster``."""
+        workload; the cluster becomes ``system.store_cluster``.
+
+        ``owned_pids`` restricts *plan scheduling* to transactions whose
+        client lives in the set (the structure — stores, clients,
+        tracker, full plan list — is always built).  The parallel kernel
+        uses this: each per-group sub-kernel schedules only its own
+        group's clients, and the never-run host passes an empty set.
+        """
         endpoint = system.endpoints[min(system.endpoints)]
         if spec.routing == "genuine" and not hasattr(endpoint, "a_mcast"):
             raise ValueError(
@@ -137,7 +145,9 @@ class StoreCluster:
         plans = txn_workload(spec, topology, client_pids,
                              system.rng.stream("store-wl"))
         cluster = cls(system, spec, pmap, stores, clients, tracker, plans)
-        for plan in plans:
+        scheduled = (plans if owned_pids is None
+                     else [p for p in plans if p.client in owned_pids])
+        for plan in scheduled:
             system.sim.call_at(
                 plan.time,
                 lambda plan=plan: clients[plan.client].submit(

@@ -1,0 +1,116 @@
+"""The parallel kernel's bit-identical contract, enforced end to end.
+
+``compare_kernels`` runs the same scenario spec under the serial and
+the parallel kernel and asserts identical delivery orders, checker
+verdicts and per-run metrics.  The grid here is the contract's
+regression net: genuine multicast (a1), broadcast reduction (a2) and
+the non-genuine baseline, with and without crashes, across seeds —
+plus a transactional-store scenario whose serializability verdict must
+survive the partitioned execution, and the degrade-to-serial paths of
+``kernel="auto"``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaigns.runner import build_scenario_system
+from repro.campaigns.spec import (
+    CrashSpec,
+    LatencySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.runtime.parallel import ParallelKernelError, compare_kernels
+from repro.store.spec import StoreSpec
+
+NO_CRASH = CrashSpec(kind="none")
+ONE_CRASH = CrashSpec(kind="explicit", crashes=((1, 3.5),))
+
+
+def small_spec(protocol, crashes=NO_CRASH, **overrides):
+    spec = ScenarioSpec(
+        name=f"cmp-{protocol}",
+        protocol=protocol,
+        group_sizes=(3, 3, 3),
+        workload=WorkloadSpec(kind="periodic", period=1.0, count=6),
+        crashes=crashes,
+        checkers=("properties", "genuineness"),
+        max_events=10_000_000,
+    )
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+class TestBitIdenticalGrid:
+    @pytest.mark.parametrize("protocol", ["a1", "a2", "nongenuine"])
+    @pytest.mark.parametrize("crashes", [NO_CRASH, ONE_CRASH],
+                             ids=["no-crash", "crash"])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_kernels_agree(self, protocol, crashes, seed):
+        traces = compare_kernels(small_spec(protocol, crashes), seed=seed)
+        assert traces["parallel"].delivery_orders == \
+            traces["serial"].delivery_orders
+        assert traces["parallel"].checker_verdicts == \
+            traces["serial"].checker_verdicts
+
+    def test_threads_executor_agrees(self):
+        compare_kernels(small_spec("a1"), seed=3, jobs=2, executor="threads")
+
+    def test_single_job_agrees(self):
+        # jobs=1 runs every sub-kernel on one worker: same barriers,
+        # no parallel interleaving — still bit-identical.
+        compare_kernels(small_spec("a1", crashes=ONE_CRASH), seed=3, jobs=1)
+
+
+class TestStoreScenario:
+    def test_store_serializability_verdict_is_identical(self):
+        spec = small_spec(
+            "a1",
+            workload=WorkloadSpec(kind="periodic", period=1.0, count=0),
+            store=StoreSpec(kind="periodic", period=1.0, count=10,
+                            n_keys=12, multi_partition_fraction=0.6),
+            checkers=("properties", "serializability", "convergence"),
+        )
+        traces = compare_kernels(spec, seed=5)
+        verdicts = traces["parallel"].checker_verdicts
+        assert verdicts["serializability"] == "ok"
+        assert verdicts == traces["serial"].checker_verdicts
+
+
+class TestKernelSelection:
+    def test_auto_on_eligible_spec_goes_parallel(self):
+        system, _, _ = build_scenario_system(
+            small_spec("a1", kernel="auto"), 1)
+        assert getattr(system, "kernel", "serial") == "parallel"
+
+    def test_auto_degrades_to_serial_on_jittered_latency(self):
+        spec = small_spec("a1", kernel="auto",
+                          latency=LatencySpec(kind="wan"),
+                          checkers=("properties",))
+        system, _, _ = build_scenario_system(spec, 1)
+        assert getattr(system, "kernel", "serial") == "serial"
+
+    def test_auto_degrades_to_serial_on_single_group(self):
+        spec = small_spec("a1", kernel="auto", group_sizes=(3,),
+                          checkers=("properties",))
+        system, _, _ = build_scenario_system(spec, 1)
+        assert getattr(system, "kernel", "serial") == "serial"
+
+    def test_strict_parallel_raises_outside_envelope(self):
+        spec = small_spec("a1", kernel="parallel",
+                          latency=LatencySpec(kind="wan"),
+                          checkers=("properties",))
+        with pytest.raises(ParallelKernelError):
+            build_scenario_system(spec, 1)
+
+
+class TestParallelProfile:
+    def test_sync_phase_recorded_and_additive(self):
+        spec = small_spec("a1", kernel="parallel", profile=True)
+        system, _, _ = build_scenario_system(spec, 1)
+        system.run_quiescent(max_events=10_000_000)
+        timings = system.profiler.timings()
+        assert timings.get("sync", 0.0) > 0.0
+        # Exclusive phases must stay additive after the merge: their sum
+        # cannot exceed the host's wall-clock window.
+        assert sum(timings.values()) <= system.profiler.total() * 1.001

@@ -1,0 +1,82 @@
+"""Lookahead derivation for the conservative parallel kernel.
+
+The parallel kernel's epoch width is ``LatencyModel.min_inter_group()``
+— the smallest delay any inter-group link can ever produce.  These
+tests pin the derivation across fixed, heterogeneous (pairwise
+override) and WAN (jittered) models, plus the fail-fast contract: a
+non-positive or missing bound must raise ``ValueError`` rather than
+hand the synchronizer a zero-width window it can never advance through.
+"""
+
+import pytest
+
+from repro.campaigns.spec import LatencySpec
+from repro.net.topology import Fixed, Jittered, LatencyModel, Uniform
+
+
+class TestMinInterGroup:
+    def test_fixed_model_uses_inter_value(self):
+        model = LatencyModel(intra=Fixed(0.001), inter=Fixed(1.0))
+        assert model.min_inter_group() == 1.0
+
+    def test_intra_latency_does_not_constrain_lookahead(self):
+        # Intra-group messages never cross a sub-kernel boundary, so a
+        # tiny intra delay must not shrink the window.
+        model = LatencyModel(intra=Fixed(1e-6), inter=Fixed(5.0))
+        assert model.min_inter_group() == 5.0
+
+    def test_heterogeneous_pairwise_overrides_take_the_min(self):
+        model = LatencyModel(
+            intra=Fixed(0.001), inter=Fixed(10.0),
+            pairwise_inter={(0, 1): Fixed(3.0), (1, 0): Fixed(7.0)})
+        assert model.min_inter_group() == 3.0
+
+    def test_wan_jittered_bound_is_the_base(self):
+        # Exponential jitter has support [0, inf); the floor is the base.
+        model = LatencyModel.wan(inter_ms=100.0, inter_jitter_ms=5.0)
+        assert model.min_inter_group() == 100.0
+
+    def test_uniform_bound_is_lo(self):
+        model = LatencyModel(intra=Fixed(0.001), inter=Uniform(2.0, 9.0))
+        assert model.min_inter_group() == 2.0
+
+    def test_zero_bound_raises(self):
+        model = LatencyModel(intra=Fixed(0.001), inter=Fixed(0.0))
+        with pytest.raises(ValueError, match="strictly positive"):
+            model.min_inter_group()
+
+    def test_zero_pairwise_bound_raises(self):
+        # One degenerate link poisons the whole window.
+        model = LatencyModel(
+            intra=Fixed(0.001), inter=Fixed(1.0),
+            pairwise_inter={(2, 0): Jittered(0.0, 5.0)})
+        with pytest.raises(ValueError, match="strictly positive"):
+            model.min_inter_group()
+
+    def test_missing_inter_distribution_raises(self):
+        model = LatencyModel(intra=Fixed(0.001), inter=None)
+        with pytest.raises(ValueError, match="no inter-group"):
+            model.min_inter_group()
+
+
+class TestAllFixed:
+    def test_logical_model_is_all_fixed(self):
+        assert LatencyModel.logical().all_fixed()
+
+    def test_wan_model_is_not_all_fixed(self):
+        assert not LatencyModel.wan().all_fixed()
+
+    def test_one_sampled_pairwise_link_breaks_all_fixed(self):
+        model = LatencyModel(
+            intra=Fixed(0.001), inter=Fixed(1.0),
+            pairwise_inter={(0, 1): Uniform(1.0, 2.0)})
+        assert not model.all_fixed()
+
+
+class TestLatencySpecHelper:
+    def test_logical_spec_lookahead(self):
+        assert LatencySpec(kind="logical").min_inter_group() == 1.0
+
+    def test_wan_spec_lookahead_is_base(self):
+        spec = LatencySpec(kind="wan", inter_ms=80.0, inter_jitter_ms=4.0)
+        assert spec.min_inter_group() == 80.0

@@ -96,6 +96,47 @@ class TestPhaseProfilerMechanics:
         profiler.pop()
         assert "total" in profiler.render()
 
+    def test_sync_is_a_canonical_phase(self):
+        # The parallel kernel charges barrier/coordination time to
+        # "sync"; it must render in canonical order, not as a stray.
+        profiler = PhaseProfiler()
+        for phase in ("zebra", "sync", "kernel"):
+            profiler.push(phase)
+            profiler.pop()
+        assert list(profiler.timings()) == ["kernel", "sync", "zebra"]
+
+    def test_absorb_merges_subkernel_timings_additively(self):
+        """Per-sub-kernel timings folded into the host profiler must sum
+        exactly — merging across sub-kernels cannot invent or lose time."""
+        host = PhaseProfiler()
+        host.push("sync")
+        time.sleep(0.002)
+        host.pop()
+        sync_before = host.timings()["sync"]
+
+        workers = []
+        for _ in range(3):
+            worker = PhaseProfiler()
+            worker.push("kernel")
+            time.sleep(0.002)
+            worker.push("network")
+            time.sleep(0.001)
+            worker.pop()
+            worker.pop()
+            workers.append(worker.timings())
+
+        for timings in workers:
+            host.absorb(timings)
+
+        merged = host.timings()
+        for phase in ("kernel", "network"):
+            expected = sum(t[phase] for t in workers)
+            assert merged[phase] == pytest.approx(expected, abs=1e-12)
+        # Absorbing worker time must not disturb host-side phases.
+        assert merged["sync"] == sync_before
+        assert sum(merged.values()) == pytest.approx(
+            sync_before + sum(sum(t.values()) for t in workers), abs=1e-12)
+
 
 class TestProfiledSystem:
     def _run(self, **kwargs):
