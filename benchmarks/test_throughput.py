@@ -45,6 +45,8 @@ from throughput_scenarios import (
     PARALLEL_SCENARIOS,
     REPORT_FILE,
     SCENARIOS,
+    TRANSPORT_BASE,
+    TRANSPORT_SCENARIOS,
     _available_cpus,
     _hb_system,
     load_baseline,
@@ -56,6 +58,9 @@ MIN_HEADLINE_SPEEDUP = 2.0
 #: Floor for the elided-heartbeat fast path on the large-n scenarios,
 #: against their committed message-mode baselines (~8x measured).
 MIN_HB_SPEEDUP = 3.0
+#: Ceiling on the reliable transport's zero-loss wall-clock price vs the
+#: bare headline scenario (sequencing + ack traffic, no retransmits).
+MAX_TRANSPORT_OVERHEAD = 1.3
 
 # The committed baseline's wall-clock seconds are only comparable on the
 # machine class that measured them (see baseline_throughput.json _meta).
@@ -300,6 +305,109 @@ class TestParallelKernel:
         assert report["parallel"]["cpu_count"] >= 1
         for entry in report["parallel"]["scenarios"].values():
             assert entry["current"]["kernel"] == "parallel"
+
+
+@pytest.fixture(scope="module")
+def transport_results(results):
+    """Run the reliable-transport scenarios and extend the BENCH report.
+
+    Depends on ``results`` so the report file exists before the
+    transport section is merged in.  The links are perfect in these
+    runs, so the section prices the transport's fixed overhead —
+    acks plus sequencing bookkeeping — against the bare base scenario.
+
+    The base scenario is *re-measured here*, run back-to-back with the
+    transport scenario in three matched rounds, rather than reusing
+    the wall clock the ``results`` fixture recorded minutes earlier:
+    an overhead ratio is only as good as its two samples sharing the
+    same machine load and heap state.  The quoted overhead is the
+    cleanest matched pair (minimum per-round ratio) — a load spike
+    inflates both halves of its round together and the thin 1.3x
+    ceiling must not flake on that.
+    """
+    measured = {}
+    for name, fn in TRANSPORT_SCENARIOS.items():
+        base_fn = SCENARIOS[TRANSPORT_BASE[name]]
+        best = base_best = ratio = None
+        for _ in range(3):
+            b = base_fn()
+            if base_best is None or b.wall_seconds < base_best.wall_seconds:
+                base_best = b
+            r = fn()
+            if best is None or r.wall_seconds < best.wall_seconds:
+                best = r
+            round_ratio = r.wall_seconds / b.wall_seconds
+            if ratio is None or round_ratio < ratio:
+                ratio = round_ratio
+        measured[name] = (best, base_best, ratio)
+
+    with open(REPORT_FILE) as fh:
+        report = json.load(fh)
+    section = {}
+    for name, (r, base, ratio) in measured.items():
+        section[name] = {
+            "current": r.to_json(),
+            "base_scenario": TRANSPORT_BASE[name],
+            "base_wall_seconds": base.wall_seconds,
+            "overhead_wall": round(ratio, 2),
+            "ack_copies": r.tsp_acks,
+            "retransmits": r.tsp_retransmits,
+        }
+    report["transport"] = {
+        "note": (
+            "Reliable retransmit transport over perfect links: the "
+            "overhead_wall ratio is its fixed zero-loss price "
+            "(per-copy sequencing plus coalesced acks), measured "
+            "against an interleaved re-run of the base scenario; "
+            "retransmits must be 0 because the RTO is derived from the "
+            "fixed link latency."
+        ),
+        "scenarios": section,
+    }
+    with open(REPORT_FILE, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return measured
+
+
+class TestTransportOverhead:
+    """The transport must be semantically invisible and cheap at zero loss.
+
+    Semantics and retransmit-freedom are asserted everywhere; the
+    wall-clock ceiling only where the machine can be trusted to time
+    consistently (same rule as the baseline comparisons).
+    """
+
+    def test_semantics_match_base_scenario(self, transport_results):
+        """Same casts and deliveries; only ack copies are extra wire."""
+        for name, (r, base, _ratio) in transport_results.items():
+            assert r.casts == base.casts, name
+            assert r.deliveries == base.deliveries, name
+            assert r.network_messages == (
+                base.network_messages + r.tsp_acks), name
+
+    def test_no_retransmits_at_zero_loss(self, transport_results):
+        """The latency-derived RTO never fires spuriously."""
+        for name, (r, _base, _ratio) in transport_results.items():
+            assert r.tsp_retransmits == 0, name
+            assert r.tsp_acks > 0, name
+
+    @needs_comparable_wall_clock
+    def test_zero_loss_overhead_bounded(self, transport_results):
+        for name, (_r, _base, ratio) in transport_results.items():
+            assert ratio <= MAX_TRANSPORT_OVERHEAD, (
+                f"{name}: transport wall overhead {ratio:.2f}x over "
+                f"{MAX_TRANSPORT_OVERHEAD}x at zero loss"
+            )
+
+    def test_report_has_transport_section(self, transport_results):
+        with open(REPORT_FILE) as fh:
+            report = json.load(fh)
+        assert set(report["transport"]["scenarios"]) == set(
+            TRANSPORT_SCENARIOS)
+        for entry in report["transport"]["scenarios"].values():
+            assert entry["retransmits"] == 0
+            assert entry["ack_copies"] > 0
 
 
 class TestHeartbeatModeEquivalence:

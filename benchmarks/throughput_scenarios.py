@@ -63,6 +63,11 @@ class ThroughputResult:
     virtual_end: float
     wall_seconds: float
     fd_messages: int = 0
+    # Reliable-transport runs record their counters; bare runs keep the
+    # zeros.  At zero loss retransmits must stay 0 (the RTO is derived
+    # from the fixed link latency) and acks are the whole overhead.
+    tsp_retransmits: int = 0
+    tsp_acks: int = 0
     # Parallel-kernel runs record how they were executed; serial runs
     # keep the defaults.  cpu_count is the honest context for any
     # speedup number — on a single-core host the sub-kernels time-share
@@ -116,6 +121,7 @@ def _run(name: str, system: System, plans) -> ThroughputResult:
     deliveries = sum(
         len(system.log.sequence(pid)) for pid in system.log.processes()
     )
+    transport = getattr(system, "transport", None)
     return ThroughputResult(
         scenario=name,
         protocol=system.protocol_name,
@@ -128,6 +134,11 @@ def _run(name: str, system: System, plans) -> ThroughputResult:
         fd_messages=sum(count for kind, count
                         in system.network.stats.by_kind.items()
                         if kind.startswith("fd.")),
+        tsp_retransmits=(transport.stats.retransmits
+                         + transport.stats.fast_retransmits
+                         if transport is not None else 0),
+        tsp_acks=(transport.stats.acks_sent
+                  if transport is not None else 0),
     )
 
 
@@ -247,6 +258,28 @@ def hb_large_a2(seed: int = 42, mode: str = "elided") -> ThroughputResult:
     return _run("hb_large_a2", system, plans)
 
 
+def poisson_hi_a1_transport(seed: int = 42) -> ThroughputResult:
+    """The headline scenario with the reliable transport mounted.
+
+    Identical topology, seed and workload plan to ``poisson_hi_a1``; the
+    only difference is ``transport="reliable"``, so every data copy
+    carries a sequence-number/checksum header and every link runs the
+    ack/dedup machinery.  The links are perfect here (no adversary), so
+    the delta against the base scenario prices the transport's *fixed*
+    overhead: header handling, ack copies and timer bookkeeping, with
+    zero retransmissions — ``benchmarks/test_throughput.py`` asserts
+    that zero and bounds the wall-clock ratio.
+    """
+    system = build_system(protocol="a1", group_sizes=[3, 3, 3], seed=seed,
+                          transport="reliable")
+    plans = poisson_workload(
+        system.topology, system.rng.stream("wl"),
+        rate=150.0, duration=40.0,
+        destinations=uniform_k_groups(2),
+    )
+    return _run("poisson_hi_a1_transport", system, plans)
+
+
 def _available_cpus() -> int:
     try:
         return len(os.sched_getaffinity(0))
@@ -363,6 +396,17 @@ PARALLEL_SCENARIOS: Dict[str, Callable[[], ThroughputResult]] = {
 PARALLEL_BASE = {
     "hb_large_a1_parallel": "hb_large_a1",
     "hb_large_a2_parallel": "hb_large_a2",
+}
+
+#: Reliable-transport scenarios, also kept out of ``SCENARIOS`` (no
+#: pre-transport baseline entry); mapped to the bare scenario whose
+#: semantic fields (casts/deliveries) they must reproduce and whose
+#: wall clock bounds their fixed overhead.
+TRANSPORT_SCENARIOS: Dict[str, Callable[[], ThroughputResult]] = {
+    "poisson_hi_a1_transport": poisson_hi_a1_transport,
+}
+TRANSPORT_BASE = {
+    "poisson_hi_a1_transport": "poisson_hi_a1",
 }
 
 

@@ -5,7 +5,7 @@ through the network's injector hook points — delay hooks for latency
 perturbation, delivery filters for phase-triggered crashes — and draws
 randomness only from its own named stream of the run's root seed.
 
-Every injector stays inside the paper's system model:
+The delay and crash injectors stay inside the paper's system model:
 
 * **quasi-reliable links** — delay-based injectors only stretch a
   copy's latency; nothing is corrupted, duplicated or dropped, so a
@@ -17,6 +17,21 @@ Every injector stays inside the paper's system model:
   registers the crash with the run's schedule so the post-run
   checkers' notion of "correct process" stays truthful.  Targets are
   validated up front against the per-group majority requirement.
+
+The **lossy kinds** (``drop``/``duplicate``/``corrupt``) deliberately
+step *outside* that envelope: they break the quasi-reliable link axiom
+itself.  Against ``transport="none"`` they falsify the protocols'
+delivery assumptions (that is their test value — the torture explorer
+catches and shrinks the resulting violations); against
+``transport="reliable"`` the sequenced retransmitting transport of
+:mod:`repro.transport.reliable` masks them and every property must stay
+green.  Each lossy injector takes an optional ``until`` horizon (virtual
+time after which no further fault fires) so a run can demonstrate
+self-stabilization: faults stop, the transport drains, the system
+quiesces — :mod:`repro.checkers.stabilization` asserts exactly that.
+Per-copy decisions come from a shared :class:`~repro.net.channel.
+ChannelModel`, which spends a constant two draws per in-scope copy, so
+the shrinker's window narrowing never realigns the fault stream.
 
 Fault accounting
 ----------------
@@ -35,6 +50,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.adversary.spec import AdversarySpec, InjectorSpec
 from repro.failure.schedule import CrashSchedule
+from repro.net.channel import ChannelModel
 from repro.net.message import Message
 from repro.runtime.profiler import classify_kind
 
@@ -275,11 +291,178 @@ class PhaseCrashInjector(FaultInjector):
         return False
 
 
+class _LossyChannelInjector(FaultInjector):
+    """Shared machinery of the lossy kinds: one seeded channel model.
+
+    Common params: ``probability`` (per-copy fault probability in the
+    good state), ``scope`` (``"all"``/``"inter"``/``"intra"``, default
+    ``"all"``), ``until`` (virtual-time fault horizon, default None =
+    forever), and the :class:`ChannelModel` burst knobs
+    ``burst_probability``/``burst_enter``/``burst_exit`` (defaults off).
+
+    The last admitted fault's virtual time is kept on
+    ``last_fault_time`` so the stabilization checker can assert the
+    horizon was honoured.
+    """
+
+    DEFAULT_PROBABILITY = 0.1
+
+    def __init__(self, spec, system, rng):
+        super().__init__(spec, system, rng)
+        params = spec.params_dict()
+        self.probability = float(
+            params.get("probability", self.DEFAULT_PROBABILITY))
+        self.scope = params.get("scope", "all")
+        until = params.get("until")
+        self.until = None if until is None else float(until)
+        if self.scope not in ("all", "inter", "intra"):
+            raise ValueError(f"{spec.kind} scope must be all/inter/intra, "
+                             f"got {self.scope!r}")
+        if self.until is not None and self.until < 0:
+            raise ValueError(f"{spec.kind} until must be >= 0, "
+                             f"got {self.until}")
+        self.channel = ChannelModel(
+            rng,
+            self.probability,
+            burst_probability=float(params.get("burst_probability", 0.0)),
+            burst_enter=float(params.get("burst_enter", 0.0)),
+            burst_exit=float(params.get("burst_exit", 0.25)),
+        )
+        self.last_fault_time: Optional[float] = None
+        self._sim = system.sim
+
+    def _decide(self, msg: Message) -> Optional[float]:
+        """One per-copy fault decision; None means leave the copy alone.
+
+        When the fault is admitted, the returned magnitude is uniform
+        on [0, 1) and derived from the fault draw itself (the
+        :class:`DelayReorderInjector` convention: one decision fixes
+        the whole fault).  Draw discipline: zero draws out of scope,
+        exactly two otherwise — the horizon and the shrink window gate
+        *after* the draws, so narrowing either never shifts the stream.
+        """
+        if self.scope == "inter" and not msg.inter_group:
+            return None
+        if self.scope == "intra" and msg.inter_group:
+            return None
+        fault, u = self.channel.roll(msg.src, msg.dst)
+        if not fault:
+            return None
+        now = self._sim.now
+        if self.until is not None and now >= self.until:
+            return None
+        if not self._gate():
+            return None
+        self.last_fault_time = now
+        p = (self.channel.burst_probability
+             if self.channel.in_burst(msg.src, msg.dst)
+             else self.probability)
+        return u / p
+
+
+class DropInjector(_LossyChannelInjector):
+    """Lose random message copies on the wire.
+
+    Params: the :class:`_LossyChannelInjector` set.  Implemented as a
+    delivery filter, so a dropped copy is accounted exactly like one
+    addressed to a crashed process (``stats.dropped``); with
+    ``burst_enter > 0`` losses cluster per link (Gilbert–Elliott).
+    Heartbeats and transport acks are *not* exempt — loss must be
+    indistinguishable from slowness at every layer above the wire.
+    """
+
+    def install(self) -> None:
+        self.system.network.add_delivery_filter(self._on_delivery)
+
+    def uninstall(self) -> None:
+        self.system.network.remove_delivery_filter(self._on_delivery)
+
+    def _on_delivery(self, msg: Message) -> bool:
+        return self._decide(msg) is None
+
+
+class DuplicateInjector(_LossyChannelInjector):
+    """Re-deliver random copies a second time, later.
+
+    Params: the :class:`_LossyChannelInjector` set plus
+    ``extra_min``/``extra_max`` (bounds of the clone's extra delay
+    beyond the original copy's, defaults 0.0/2.0).  Implemented as a
+    delay hook that leaves the original copy's delay untouched and
+    schedules one clone through :meth:`Network.inject_copy`, so the
+    duplicate is a first-class wire copy: traced, counted, filtered
+    and deduplicated like any other.
+    """
+
+    def __init__(self, spec, system, rng):
+        super().__init__(spec, system, rng)
+        params = spec.params_dict()
+        self.extra_min = float(params.get("extra_min", 0.0))
+        self.extra_max = float(params.get("extra_max", 2.0))
+        if not 0.0 <= self.extra_min <= self.extra_max:
+            raise ValueError(
+                f"duplicate needs 0 <= extra_min <= extra_max, got "
+                f"{self.extra_min}/{self.extra_max}")
+
+    def install(self) -> None:
+        self.system.network.add_delay_hook(self._on_delay)
+
+    def uninstall(self) -> None:
+        self.system.network.remove_delay_hook(self._on_delay)
+
+    def _on_delay(self, msg: Message, delay: float) -> float:
+        magnitude = self._decide(msg)
+        if magnitude is not None:
+            span = self.extra_max - self.extra_min
+            self.system.network.inject_copy(
+                msg, delay + self.extra_min + magnitude * span)
+        return delay
+
+
+class CorruptInjector(_LossyChannelInjector):
+    """Damage random copies in flight (modeled frame corruption).
+
+    Params: the :class:`_LossyChannelInjector` set (default
+    ``probability`` 0.05).  A sequenced transport frame gets the
+    checksum byte of its envelope frame word (``msg.wire``) XOR-damaged
+    — mask derived from the fault draw, never zero, sequence bits
+    intact — so the receiving transport *must* detect it and the damage
+    degrades to a loss the retransmission machinery repairs.  An
+    unsequenced copy — raw protocol traffic under ``transport="none"``,
+    heartbeats, acks — is dropped outright, which is what a link-layer
+    CRC does with a frame it cannot verify.
+
+    The frame word is per copy (``send_many`` copies and injected
+    duplicates share a payload dict but never an envelope), so damaging
+    this copy can never bleed into its siblings.
+    """
+
+    DEFAULT_PROBABILITY = 0.05
+
+    def install(self) -> None:
+        self.system.network.add_delivery_filter(self._on_delivery)
+
+    def uninstall(self) -> None:
+        self.system.network.remove_delivery_filter(self._on_delivery)
+
+    def _on_delivery(self, msg: Message) -> bool:
+        magnitude = self._decide(msg)
+        if magnitude is None:
+            return True
+        if msg.wire is None:
+            return False  # unverifiable frame: the link CRC eats it
+        mask = 1 + int(magnitude * 254.999)  # 1..255: always detectable
+        msg.wire ^= mask
+        return True
+
+
 INJECTOR_TYPES: Dict[str, Callable[..., FaultInjector]] = {
     "link-skew": LinkSkewInjector,
     "delay-reorder": DelayReorderInjector,
     "partition-spike": PartitionSpikeInjector,
     "phase-crash": PhaseCrashInjector,
+    "drop": DropInjector,
+    "duplicate": DuplicateInjector,
+    "corrupt": CorruptInjector,
 }
 
 

@@ -32,9 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-#: Injector kinds understood by :mod:`repro.adversary.injectors`.
+#: Injector kinds understood by :mod:`repro.adversary.injectors`.  The
+#: lossy kinds (drop/duplicate/corrupt) break the quasi-reliable link
+#: axiom on purpose — pair them with ``transport="reliable"`` unless the
+#: run is *supposed* to fail (see the injectors module docstring).
 INJECTOR_KINDS = ("link-skew", "delay-reorder", "partition-spike",
-                  "phase-crash")
+                  "phase-crash", "drop", "duplicate", "corrupt")
 
 
 @dataclass(frozen=True)
@@ -192,6 +195,71 @@ def _builtin_adversaries() -> Dict[str, AdversarySpec]:
                 params=(("target", 0), ("phase", "consensus"),
                         ("at_count", 3)),
             ),),
+        ),
+        # Lossy channels, three severities plus a bursty variant.  All
+        # four stop injecting at t=25 (the ``until`` horizon) so a
+        # 20-time-unit workload's tail traffic and the transport's
+        # retransmissions get a fault-free suffix to stabilize in —
+        # the shape the stabilization checker certifies.
+        "lossy-light": AdversarySpec(
+            name="lossy-light",
+            injectors=(
+                InjectorSpec(kind="drop",
+                             params=(("probability", 0.05),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="duplicate",
+                             params=(("probability", 0.05),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="corrupt",
+                             params=(("probability", 0.02),
+                                     ("until", 25.0))),
+            ),
+        ),
+        "lossy-medium": AdversarySpec(
+            name="lossy-medium",
+            injectors=(
+                InjectorSpec(kind="drop",
+                             params=(("probability", 0.15),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="duplicate",
+                             params=(("probability", 0.10),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="corrupt",
+                             params=(("probability", 0.05),
+                                     ("until", 25.0))),
+            ),
+        ),
+        "lossy-heavy": AdversarySpec(
+            name="lossy-heavy",
+            injectors=(
+                InjectorSpec(kind="drop",
+                             params=(("probability", 0.30),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="duplicate",
+                             params=(("probability", 0.10),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="corrupt",
+                             params=(("probability", 0.10),
+                                     ("until", 25.0))),
+            ),
+        ),
+        # Gilbert–Elliott bursts: a mostly-clean wire (5% loss) whose
+        # links fall into 60%-loss bursts and claw their way out —
+        # clustered loss stresses retransmission backoff much harder
+        # than the same average rate spread i.i.d.
+        "lossy-burst": AdversarySpec(
+            name="lossy-burst",
+            injectors=(
+                InjectorSpec(kind="drop",
+                             params=(("probability", 0.05),
+                                     ("burst_probability", 0.6),
+                                     ("burst_enter", 0.05),
+                                     ("burst_exit", 0.2),
+                                     ("until", 25.0))),
+                InjectorSpec(kind="duplicate",
+                             params=(("probability", 0.05),
+                                     ("until", 25.0))),
+            ),
         ),
         # Everything at once: the torture composition.
         "chaos": AdversarySpec(

@@ -23,6 +23,11 @@ Five ready-made campaigns cover the axes the paper's claims range over:
   adversary can construct within the model; ``repro.cli torture``
   drives this grid through the explorer and shrinks any failure to a
   minimal replayable counterexample;
+* ``lossy-net`` — dropping/duplicating/corrupting channels (three
+  severities plus Gilbert–Elliott bursts, faults stopping at a
+  horizon) × three protocols, all riding the reliable transport:
+  every cell must satisfy the uniform properties *and* self-stabilize
+  once the faults stop, with the transport's masking cost metered;
 * ``store-scaling`` — the transactional partitioned store (one-shot
   multi-partition transactions, see :mod:`repro.store`) at 4/6/8
   groups under genuine A1, the non-genuine wrapper and
@@ -242,6 +247,55 @@ def torture(seeds: Optional[Sequence[int]] = None) -> Campaign:
     )
 
 
+def lossy_net(seeds: Optional[Sequence[int]] = None) -> Campaign:
+    """Protocols over genuinely lossy channels, transport mounted.
+
+    The four lossy adversaries (5%/15%/30% i.i.d. loss plus the bursty
+    Gilbert–Elliott composition, each with duplication and checksum
+    corruption mixed in and an ``until=25`` horizon) × three protocols,
+    all with ``transport="reliable"``: the retransmitting transport must
+    mask every channel fault, so the uniform properties *and* the
+    stabilization checker (faults stop → transport drains → system
+    quiesces) hold on every cell, while the ``transport`` metric family
+    prices the masking in retransmissions, suppressed duplicates and
+    ack overhead.
+
+    The axis order (adversary outer, protocol inner) matches
+    :func:`torture`: a ``--max-scenarios 2`` smoke still covers two
+    protocols under loss rather than two severities of one protocol.
+    """
+    base = ScenarioSpec(
+        name="lossy",
+        protocol="a1",
+        group_sizes=(2, 2),
+        workload=WorkloadSpec(
+            kind="poisson", rate=1.0, duration=20.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        seeds=tuple(seeds or DEFAULT_SEEDS),
+        transport="reliable",
+        checkers=("properties", "stabilization"),
+        metrics=("core", "latency", "traffic", "transport"),
+    )
+    scenarios = matrix(base, {
+        "adversary": ["lossy-light", "lossy-medium", "lossy-heavy",
+                      "lossy-burst"],
+        "protocol": ["a1", "a2", "nongenuine"],
+    })
+    # A2 is proactive: its rounds only start when asked to.
+    scenarios = [
+        dataclasses_replace(spec, start_rounds=True)
+        if spec.protocol == "a2" else spec
+        for spec in scenarios
+    ]
+    return Campaign(
+        name="lossy-net", scenarios=scenarios,
+        description="drop/duplicate/corrupt channels under the reliable "
+                    "transport: properties plus self-stabilization on "
+                    "every cell, masking cost measured",
+    )
+
+
 def store_scaling(seeds: Optional[Sequence[int]] = None) -> Campaign:
     """The transactional store as the deployment gains groups.
 
@@ -339,6 +393,7 @@ CAMPAIGNS: Dict[str, CampaignBuilder] = {
     "cross-protocol": cross_protocol,
     "fd-overhead": fd_overhead,
     "torture": torture,
+    "lossy-net": lossy_net,
     "store-scaling": store_scaling,
     "txn-mix": txn_mix,
 }
@@ -353,6 +408,9 @@ CAMPAIGN_DESCRIPTIONS: Dict[str, str] = {
                    "cost, A1 and A2 (6 scenarios)",
     "torture": "4 protocols x 4 adversaries; minimal counterexample on "
                "any failure (16 scenarios)",
+    "lossy-net": "drop/duplicate/corrupt channels x 3 protocols under "
+                 "the reliable transport; stabilization checked "
+                 "(12 scenarios)",
     "store-scaling": "transactional store at 4/6/8 groups, genuine vs "
                      "nongenuine vs broadcast (9 scenarios)",
     "txn-mix": "store read/write x multi-partition mix grid on A1 "

@@ -99,6 +99,37 @@ def phase_metrics(system) -> Dict[str, float]:
             for name, seconds in timings.items()}
 
 
+def transport_metrics(system) -> Dict[str, float]:
+    """Reliable-transport counters plus channel-fault accounting.
+
+    Works on any system: without a mounted transport the ``tsp_*``
+    counters are all zero (so a transport="none"/"reliable" grid axis
+    yields comparable rows), and the wire-level drop/duplicate counters
+    come from the network stats either way.  ``tsp_overhead_copies`` is
+    the transport's price in extra wire copies — retransmissions plus
+    acks — amortised per sequenced data copy.
+    """
+    stats = system.network.stats
+    out = {
+        "wire_dropped": float(stats.dropped),
+        "wire_duplicated": float(stats.duplicated),
+    }
+    from repro.transport import TransportStats
+
+    transport = getattr(system, "transport", None)
+    snap = (transport.stats if transport is not None
+            else TransportStats()).snapshot()
+    out.update({f"tsp_{name}": float(value)
+                for name, value in snap.items()})
+    data = snap["data_copies"]
+    extra = snap["retransmits"] + snap["fast_retransmits"] + snap["acks_sent"]
+    out["tsp_overhead_copies"] = extra / data if data else 0.0
+    checker = getattr(system, "stabilization_checker", None)
+    settle = getattr(checker, "last_delivery_at", None)
+    out["stab_last_delivery_at"] = float(settle) if settle is not None else 0.0
+    return out
+
+
 def _store_metrics(system) -> Dict[str, float]:
     """Serving-layer metrics (see :mod:`repro.store.metrics`)."""
     from repro.store.metrics import store_metrics
@@ -125,6 +156,7 @@ EXTRACTORS: Dict[str, MetricExtractor] = {
     "traffic": traffic_metrics,
     "rounds": round_metrics,
     "phases": phase_metrics,
+    "transport": transport_metrics,
     "store": _store_metrics,
     "involvement": _involvement_metrics,
 }

@@ -69,11 +69,18 @@ def _check_convergence(system) -> None:
     _store_cluster(system).assert_convergence()
 
 
+def _check_stabilization(system) -> None:
+    from repro.checkers.stabilization import check_stabilization
+
+    check_stabilization(system)
+
+
 CHECKERS: Dict[str, Callable[[object], None]] = {
     "properties": _check_properties,
     "genuineness": _check_genuineness,
     "serializability": _check_serializability,
     "convergence": _check_convergence,
+    "stabilization": _check_stabilization,
 }
 
 #: Checkers that need the full message trace recorded during the run.
@@ -145,6 +152,13 @@ def validate_spec(spec: ScenarioSpec) -> None:
                 f"scenario {spec.name!r}: unknown adversary "
                 f"{spec.adversary!r}; have {sorted(ADVERSARIES)}"
             )
+    from repro.transport import TRANSPORTS
+
+    if spec.transport not in TRANSPORTS:
+        raise ValueError(
+            f"scenario {spec.name!r}: unknown transport "
+            f"{spec.transport!r}; have {list(TRANSPORTS)}"
+        )
     if spec.store is None:
         store_only = (STORE_CHECKERS.intersection(spec.checkers)
                       | STORE_METRICS.intersection(spec.metrics))
@@ -216,6 +230,7 @@ def build_scenario_system(spec: ScenarioSpec, seed: int,
         heartbeat_period=spec.heartbeat_period,
         heartbeat_timeout=spec.heartbeat_timeout,
         heartbeat_horizon=spec.heartbeat_horizon,
+        transport=spec.transport,
         trace=bool(TRACE_CHECKERS.intersection(spec.checkers)
                    or TRACE_METRICS.intersection(spec.metrics)),
         # The "phases" metric family needs the profiler, the same way
@@ -232,6 +247,17 @@ def build_scenario_system(spec: ScenarioSpec, seed: int,
         from repro.adversary.injectors import apply_adversary
 
         applied = apply_adversary(system, adversary)
+    # Post-run checkers read the live injectors (fault horizons) and
+    # the streaming settling observer off the system itself, so replay
+    # and campaign paths agree on what "stabilized" means.
+    system.applied_adversary = applied
+    if "stabilization" in spec.checkers:
+        from repro.checkers.stabilization import (
+            StreamingStabilizationChecker,
+        )
+
+        system.stabilization_checker = (
+            StreamingStabilizationChecker().attach(system))
     if spec.start_rounds:
         system.start_rounds()
     if spec.store is not None:
@@ -271,6 +297,10 @@ def _build_parallel_scenario(spec: ScenarioSpec, seed: int):
         heartbeat_period=spec.heartbeat_period,
         heartbeat_timeout=spec.heartbeat_timeout,
         heartbeat_horizon=spec.heartbeat_horizon,
+        # Passed through so check_envelope rejects transport scenarios
+        # with its precise reason (retransmit timers undercut the
+        # lookahead bound); kernel="auto" then degrades to serial.
+        transport=spec.transport,
         trace=bool(TRACE_CHECKERS.intersection(spec.checkers)
                    or TRACE_METRICS.intersection(spec.metrics)),
         profile=spec.profile or "phases" in spec.metrics,

@@ -243,6 +243,11 @@ class ScenarioSpec:
     # ("none" = benign): a grid axis like any other dotted field path,
     # resolved and applied by the campaign runner after build_system.
     adversary: str = "none"
+    # "none" (raw quasi-reliable links) or "reliable" (mount the
+    # retransmitting transport of :mod:`repro.transport.reliable`
+    # beneath the protocol — what makes the lossy adversary kinds
+    # survivable).  Serial kernel only; gridable like any other axis.
+    transport: str = "none"
     detector: str = "perfect"
     detector_delay: float = 5.0
     stabilise_at: float = 0.0
@@ -275,6 +280,7 @@ class ScenarioSpec:
             "workload": self.workload.kind,
             "crashes": self.crashes.kind,
             "adversary": self.adversary,
+            "transport": self.transport,
             "detector": self.detector,
             "checkers": list(self.checkers),
             "seeds": list(self.seeds),

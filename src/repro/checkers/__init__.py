@@ -14,10 +14,18 @@ from repro.checkers.properties import (
 from repro.checkers.quiescence import (
     QuiescenceReport, QuiescenceViolation, check_quiescence,
 )
+from repro.checkers.stabilization import (
+    StabilizationReport,
+    StabilizationViolation,
+    StreamingStabilizationChecker,
+    check_stabilization,
+)
 
 __all__ = [
     "GenuinenessViolation", "check_genuineness", "PropertyViolation",
     "check_all", "check_uniform_agreement", "check_uniform_integrity",
     "check_uniform_prefix_order", "check_validity", "QuiescenceReport",
-    "QuiescenceViolation", "check_quiescence",
+    "QuiescenceViolation", "check_quiescence", "StabilizationReport",
+    "StabilizationViolation", "StreamingStabilizationChecker",
+    "check_stabilization",
 ]

@@ -169,6 +169,9 @@ def _print_listing() -> None:
           "python -m repro.cli torture):")
     for name, spec in ADVERSARIES.items():
         print(f"  {name:16s} {spec.describe()}")
+    print()
+    print("loss sweeps: python -m repro.cli lossy "
+          "[--rates CSV] [--include-none]")
 
 
 def _parse_seeds(parser: argparse.ArgumentParser,
@@ -521,6 +524,170 @@ def store_main(argv: List[str]) -> int:
     return 0 if result.ok else 1
 
 
+def lossy_main(argv: List[str]) -> int:
+    """The ``lossy`` verb: loss rate × transport grid for one protocol."""
+    import json
+
+    from repro.adversary.spec import AdversarySpec, InjectorSpec
+    from repro.campaigns.metrics import extract
+    from repro.campaigns.runner import build_scenario_system, run_checkers
+    from repro.campaigns.spec import (
+        DestinationSpec, ScenarioSpec, WorkloadSpec,
+    )
+    from repro.runtime.builder import PROTOCOLS
+    from repro.sim.kernel import SimulationError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli lossy",
+        description="Sweep channel loss against the reliable transport: "
+                    "for each loss rate, drop/duplicate/corrupt a "
+                    "protocol's traffic and check that every property "
+                    "plus self-stabilization survives.  --include-none "
+                    "adds raw-link rows that show what the transport is "
+                    "saving you from (expected to fail; they never "
+                    "affect the exit status).",
+    )
+    parser.add_argument("--protocol", default="a1",
+                        help="protocol registry key (default: a1)")
+    parser.add_argument("--groups", default="2,2", metavar="CSV",
+                        help="group sizes, e.g. 2,2 (default)")
+    parser.add_argument("--rates", default="0.05,0.15,0.3", metavar="CSV",
+                        help="drop probabilities to sweep "
+                             "(default: 0.05,0.15,0.3)")
+    parser.add_argument("--dup", type=float, default=0.1,
+                        help="duplicate probability per rate (default 0.1)")
+    parser.add_argument("--corrupt", type=float, default=0.05,
+                        help="corrupt probability per rate (default 0.05)")
+    parser.add_argument("--until", type=float, default=25.0,
+                        help="virtual-time fault horizon (default 25)")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="Poisson cast arrival rate (default 1.0)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="workload duration in virtual time")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--max-events", type=int, default=2_000_000,
+                        help="kernel event budget per cell (raw-link "
+                             "rows livelock under loss; this bounds them)")
+    parser.add_argument("--include-none", action="store_true",
+                        help="also run each rate over transport='none'")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the grid as JSON")
+    args = parser.parse_args(argv)
+
+    if args.protocol not in PROTOCOLS:
+        print(f"unknown protocol {args.protocol!r}; "
+              f"available: {', '.join(sorted(PROTOCOLS))}", file=sys.stderr)
+        return 2
+    group_sizes = tuple(_parse_int_csv(parser, "--groups", args.groups))
+    try:
+        rates = [float(part) for part in args.rates.split(",")
+                 if part.strip()]
+    except ValueError:
+        parser.error(f"--rates must be comma-separated floats: "
+                     f"{args.rates!r}")
+    if not rates:
+        parser.error("--rates must name at least one rate")
+
+    transports = ("reliable", "none") if args.include_none else ("reliable",)
+    rows = []
+    status = 0
+    for drop_p in rates:
+        injectors = [InjectorSpec(kind="drop",
+                                  params=(("probability", drop_p),
+                                          ("until", args.until)))]
+        if args.dup > 0:
+            injectors.append(InjectorSpec(
+                kind="duplicate",
+                params=(("probability", args.dup), ("until", args.until))))
+        if args.corrupt > 0:
+            injectors.append(InjectorSpec(
+                kind="corrupt",
+                params=(("probability", args.corrupt),
+                        ("until", args.until))))
+        adversary = AdversarySpec(name=f"lossy-cli-{drop_p:g}",
+                                  injectors=tuple(injectors))
+        for transport in transports:
+            spec = ScenarioSpec(
+                name=f"lossy-cli-{drop_p:g}-{transport}",
+                protocol=args.protocol,
+                group_sizes=group_sizes,
+                workload=WorkloadSpec(
+                    kind="poisson", rate=args.rate, duration=args.duration,
+                    destinations=DestinationSpec(kind="uniform-k",
+                                                 k=min(2, len(group_sizes))),
+                ),
+                seeds=(args.seed,),
+                transport=transport,
+                start_rounds=(args.protocol == "a2"),
+                checkers=("properties", "stabilization"),
+                metrics=("core", "traffic", "transport"),
+                max_events=args.max_events,
+            )
+            try:
+                system, plans, applied = build_scenario_system(
+                    spec, args.seed, adversary=adversary)
+                system.run_quiescent(max_events=spec.max_events)
+            except SimulationError as exc:
+                rows.append({"drop": drop_p, "transport": transport,
+                             "verdict": f"FAIL: {exc}", "metrics": {}})
+                if transport == "reliable":
+                    status = 1
+                continue
+            metrics = extract(system, list(spec.metrics))
+            if applied is not None:
+                metrics["faults_injected"] = float(applied.total_faults)
+            verdicts = run_checkers(system, spec)
+            bad = {k: v for k, v in verdicts.items() if v != "ok"}
+            verdict = "ok" if not bad else "; ".join(
+                f"{k}: {v}" for k, v in bad.items())
+            rows.append({"drop": drop_p, "transport": transport,
+                         "verdict": verdict, "metrics": metrics})
+            if bad and transport == "reliable":
+                status = 1
+
+    print(f"lossy: {args.protocol}, groups {list(group_sizes)}, "
+          f"seed {args.seed}, dup {args.dup:g}, corrupt {args.corrupt:g}, "
+          f"faults stop at t={args.until:g}")
+    header = (f"  {'drop':>6s} {'transport':>9s} {'faults':>6s} "
+              f"{'rtx':>5s} {'fast':>5s} {'dupsup':>6s} {'corrupt':>7s} "
+              f"{'ovh':>5s}  verdict")
+    print(header)
+    for row in rows:
+        m = row["metrics"]
+        if m:
+            cells = (f"  {row['drop']:>6g} {row['transport']:>9s} "
+                     f"{m.get('faults_injected', 0):>6.0f} "
+                     f"{m['tsp_retransmits']:>5.0f} "
+                     f"{m['tsp_fast_retransmits']:>5.0f} "
+                     f"{m['tsp_dup_suppressed']:>6.0f} "
+                     f"{m['tsp_corrupt_detected']:>7.0f} "
+                     f"{m['tsp_overhead_copies']:>5.2f}  {row['verdict']}")
+        else:
+            cells = (f"  {row['drop']:>6g} {row['transport']:>9s} "
+                     f"{'—':>6s} {'—':>5s} {'—':>5s} {'—':>6s} {'—':>7s} "
+                     f"{'—':>5s}  {row['verdict'][:60]}")
+        print(cells)
+    if args.include_none:
+        print("  (transport=none rows are expected to fail: they "
+              "demonstrate the raw links; exit status ignores them)")
+
+    if args.json:
+        record = {
+            "protocol": args.protocol,
+            "group_sizes": list(group_sizes),
+            "seed": args.seed,
+            "dup": args.dup,
+            "corrupt": args.corrupt,
+            "until": args.until,
+            "rows": rows,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return status
+
+
 def _artifact_name(scenario: str, seed: int) -> str:
     safe = scenario.replace("/", "_").replace("=", "-").replace(" ", "_")
     return f"COUNTEREXAMPLE_{safe}_s{seed}.json"
@@ -824,6 +991,8 @@ def main(argv: List[str] = None) -> int:
         return store_main(argv[1:])
     if argv and argv[0] == "parallel":
         return parallel_main(argv[1:])
+    if argv and argv[0] == "lossy":
+        return lossy_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",

@@ -36,10 +36,16 @@ class Message:
         inter_group: True when sender and receiver are in distinct groups.
         send_lamport: Modified Lamport timestamp of the send event.
         send_time: Virtual time of the send event.
+        wire: Transport frame word ``(seq << 8) | checksum``, or None
+            when no reliable transport sequenced this copy.  Lives on
+            the envelope, not in ``payload``: the payload dict is shared
+            by every copy of a ``send_many`` fan-out, while the sequence
+            number is strictly per copy — and the corrupt injector can
+            damage one copy's frame word without touching its siblings.
     """
 
     __slots__ = ("src", "dst", "kind", "payload", "inter_group",
-                 "send_lamport", "send_time")
+                 "send_lamport", "send_time", "wire")
 
     def __init__(
         self,
@@ -50,6 +56,7 @@ class Message:
         inter_group: bool = False,
         send_lamport: int = 0,
         send_time: float = 0.0,
+        wire: "int | None" = None,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -58,6 +65,7 @@ class Message:
         self.inter_group = inter_group
         self.send_lamport = send_lamport
         self.send_time = send_time
+        self.wire = wire
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         scope = "inter" if self.inter_group else "intra"

@@ -13,6 +13,18 @@ The network is also the instrumentation point for the modified Lamport
 clocks (Section 2.3): it stamps every send with the sender's clock and
 advances the receiver's clock on delivery, and it feeds the
 message-complexity counters behind Figure 1.
+
+Breaking quasi-reliability is possible, but only deliberately: the lossy
+adversary kinds (``drop``/``duplicate``/``corrupt``, see
+:mod:`repro.adversary.injectors`) act through the same delivery-filter
+and delay-hook seams the quasi-reliable injectors use, plus the
+:meth:`Network.inject_copy` seam for duplication.  Runs that enable them
+either accept broken runs (that is the point of the torture explorer) or
+mount the retransmitting transport of :mod:`repro.transport`, which
+restores quasi-reliable semantics above the faulty links; the network
+cooperates through :meth:`set_transport` and two explicit interception
+points (wrap on send, frame admission on delivery) so that the protocols
+above notice nothing.
 """
 
 from __future__ import annotations
@@ -80,6 +92,10 @@ class Network:
         #: delivery path charges pre-handler overhead to "network" and
         #: each handler call to its kind's phase.
         self.profiler = None
+        #: Optional :class:`~repro.transport.reliable.ReliableTransport`
+        #: mounted by ``build_system(transport="reliable")``.  None on
+        #: the hot paths costs one attribute read + is-None test.
+        self.transport = None
         # src_gid -> {dst_gid -> constant link delay, or None when the
         # pair's distribution needs an RNG draw per copy}.  Lazily
         # filled; rows are fetched once per send_many call so the
@@ -161,11 +177,54 @@ class Network:
             raise ValueError("delay hook not installed")
         self._delay_hooks.remove(hook)
 
+    def set_transport(self, transport) -> None:
+        """Mount a reliable transport beneath the protocol traffic.
+
+        Every subsequent :meth:`send`/:meth:`send_many` of a covered
+        kind is wrapped into a sequenced, checksummed frame, and frame
+        deliveries are admitted through the transport's dedup/reorder
+        logic instead of dispatching directly (see
+        :mod:`repro.transport.reliable`).  Must happen before traffic
+        flows — mounting mid-run would strand unsequenced copies.
+        """
+        if self.transport is not None:
+            raise ValueError("a transport is already mounted")
+        self.transport = transport
+
+    def inject_copy(self, msg: Message, delay: float) -> None:
+        """Schedule an *extra* delivery of a copy already in flight.
+
+        This is the duplication seam for the lossy adversary: the clone
+        really does cross the wire again, so it is accounted like any
+        other copy (stats, trace, ``duplicated`` counter) and delivered
+        through the normal path — later filters, the transport's dedup
+        window and the receiver's clock all see it.  The clone is a
+        fresh :class:`Message` sharing the payload dict, never the same
+        object, so a corruption of one copy cannot leak into the other.
+        """
+        copy = Message(msg.src, msg.dst, msg.kind, msg.payload,
+                       msg.inter_group, msg.send_lamport, msg.send_time,
+                       msg.wire)
+        self.stats.on_send(copy)
+        self.stats.duplicated += 1
+        if self.trace.enabled:
+            self.trace.on_send(self.sim.now, copy)
+        self.sim.schedule_action(delay, lambda m=copy: self._deliver(m))
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, kind: str, payload: dict) -> None:
         """Send one message from ``src`` to ``dst``."""
+        transport = self.transport
+        if transport is not None:
+            next_wire = transport.sequencer(src, kind, payload, self.sim.now)
+            if next_wire is not None:
+                if self._processes[src].crashed:
+                    return  # don't sequence what can never enter the wire
+                self._send_copy(src, dst, kind, payload,
+                                next_wire(src, dst))
+                return
         self._send_copy(src, dst, kind, payload)
 
     def send_many(
@@ -200,9 +259,12 @@ class Network:
         sender = self._processes[src]
         if sender.crashed:
             return
+        now = self.sim.now
+        transport = self.transport
+        next_wire = (transport.sequencer(src, kind, payload, now)
+                     if transport is not None else None)
         group_of = self.topology.group_index
         src_gid = group_of[src]
-        now = self.sim.now
         lamport = sender.lamport.value  # timestamp_send leaves it unchanged
         trace = self.trace if self.trace.enabled else None
         fixed_row = self._fixed_delay.get(src_gid)
@@ -217,10 +279,17 @@ class Network:
         for dst in dsts:
             dst_gid = group_of[dst]
             inter = src_gid != dst_gid
-            msg = Message(
-                src, dst, kind, payload, inter,
-                lamport + 1 if inter else lamport, now,
-            )
+            if next_wire is None:
+                msg = Message(
+                    src, dst, kind, payload, inter,
+                    lamport + 1 if inter else lamport, now,
+                )
+            else:
+                msg = Message(
+                    src, dst, kind, payload, inter,
+                    lamport + 1 if inter else lamport, now,
+                    next_wire(src, dst),
+                )
             total += 1
             if inter:
                 n_inter += 1
@@ -251,18 +320,19 @@ class Network:
             else:
                 schedule(delay, lambda ms=copies: self._deliver_batch(ms))
 
-    def _send_copy(self, src: int, dst: int, kind: str, payload: dict) -> None:
+    def _send_copy(self, src: int, dst: int, kind: str, payload: dict,
+                   wire: "int | None" = None) -> None:
         if self.profiler is not None:
             self.profiler.push("network")
             try:
-                self._send_copy_impl(src, dst, kind, payload)
+                self._send_copy_impl(src, dst, kind, payload, wire)
             finally:
                 self.profiler.pop()
             return
-        self._send_copy_impl(src, dst, kind, payload)
+        self._send_copy_impl(src, dst, kind, payload, wire)
 
     def _send_copy_impl(self, src: int, dst: int, kind: str,
-                        payload: dict) -> None:
+                        payload: dict, wire: "int | None" = None) -> None:
         sender = self._processes[src]
         if sender.crashed:
             return
@@ -273,7 +343,7 @@ class Network:
         lamport = sender.lamport.value  # timestamp_send leaves it unchanged
         msg = Message(
             src, dst, kind, payload, inter,
-            lamport + 1 if inter else lamport, self.sim.now,
+            lamport + 1 if inter else lamport, self.sim.now, wire,
         )
         self.stats.on_send(msg)
         if self.trace.enabled:
@@ -354,6 +424,14 @@ class Network:
                     f"process {receiver.pid} has no handler for kind "
                     f"{msg.kind!r}"
                 )
+            wire = msg.wire
+            if wire is not None:
+                # A sequenced transport frame: checksum, dedup and
+                # in-order release happen there; the handler runs
+                # zero or more times (buffered successors flush).
+                self.transport.on_frame(receiver, msg, wire, handler,
+                                        profiler)
+                return
             if profiler is None:
                 handler(msg)
             else:

@@ -27,6 +27,10 @@ class NetworkStats:
         self.by_kind: Counter = Counter()
         self.by_kind_inter: Counter = Counter()
         self.dropped = 0
+        # Extra copies injected by the duplicate-channel adversary via
+        # Network.inject_copy (each is also counted by on_send, so
+        # total_messages stays the honest wire-copy count).
+        self.duplicated = 0
 
     @property
     def total_messages(self) -> int:
@@ -61,6 +65,7 @@ class NetworkStats:
             "intra": self.intra_group_messages,
             "total": self.total_messages,
             "dropped": self.dropped,
+            "duplicated": self.duplicated,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

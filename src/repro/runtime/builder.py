@@ -74,6 +74,9 @@ class System:
         #: Shared :class:`~repro.runtime.profiler.PhaseProfiler`, set by
         #: ``build_system(..., profile=True)`` (None otherwise).
         self.profiler = None
+        #: The mounted :class:`~repro.transport.reliable.ReliableTransport`
+        #: when built with ``transport="reliable"`` (None otherwise).
+        self.transport = None
         # Global (pid, msg) hooks: streaming checkers subscribe here.
         self._delivery_hooks: List[Callable] = []
         self._cast_hooks: List[Callable] = []
@@ -363,6 +366,7 @@ def build_system(
     heartbeat_period: float = 10.0,
     heartbeat_timeout: float = 35.0,
     heartbeat_horizon: Optional[float] = None,
+    transport: str = "none",
     trace: bool = False,
     profile: bool = False,
     kernel: str = "serial",
@@ -395,6 +399,12 @@ def build_system(
             detectors); must exceed the period.
         heartbeat_horizon: Virtual time after which heartbeating stops,
             so finite workloads reach quiescence (None = forever).
+        transport: ``"none"`` (protocols ride the raw quasi-reliable
+            links, the default) or ``"reliable"`` (mount the sequenced
+            retransmitting transport of
+            :mod:`repro.transport.reliable` beneath every protocol
+            kind — required for the lossy adversary kinds to be
+            masked rather than fatal).  Serial kernel only.
         trace: Enable the full message trace (genuineness checks).
         profile: Attach a :class:`~repro.runtime.profiler.PhaseProfiler`
             (shared by kernel, network and detector) — read the result
@@ -420,6 +430,12 @@ def build_system(
         raise ValueError(
             f"unknown kernel {kernel!r}; pick 'serial', 'parallel' or 'auto'"
         )
+    from repro.transport import TRANSPORTS
+
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; pick one of {TRANSPORTS}"
+        )
     if kernel != "serial" and _sim is None:
         from repro.runtime.parallel import (
             ParallelKernelError,
@@ -432,8 +448,8 @@ def build_system(
             detector=detector, detector_delay=detector_delay,
             stabilise_at=stabilise_at, heartbeat_period=heartbeat_period,
             heartbeat_timeout=heartbeat_timeout,
-            heartbeat_horizon=heartbeat_horizon, trace=trace,
-            profile=profile, **protocol_kwargs,
+            heartbeat_horizon=heartbeat_horizon, transport=transport,
+            trace=trace, profile=profile, **protocol_kwargs,
         )
         if kernel == "parallel":
             return build_parallel_system(build_kwargs, jobs=jobs,
@@ -487,6 +503,15 @@ def build_system(
     system = System(protocol, sim, topology, network, fd, rng, crashes)
     if profile:
         system.profiler = sim.profiler
+    if transport == "reliable":
+        from repro.transport import ReliableTransport
+
+        # Mounted after crashes.apply (crash events are scheduled, so
+        # ground-truth give-up sees them) and before the endpoints so
+        # every protocol send is intercepted from the first cast.
+        tsp = ReliableTransport(sim, network, rng.stream("transport"))
+        tsp.mount()
+        system.transport = tsp
     factory = PROTOCOLS[protocol]
     for pid in topology.processes:
         endpoint = factory(system, network.process(pid), **protocol_kwargs)

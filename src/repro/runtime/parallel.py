@@ -126,6 +126,15 @@ def check_envelope(build_kwargs: dict) -> float:
             f"its answers are not a pure function of virtual time "
             f"(supported: {PARALLEL_DETECTORS})"
         )
+    transport = build_kwargs.get("transport", "none")
+    if transport != "none":
+        raise ParallelKernelError(
+            f"transport {transport!r} is outside the parallel envelope: "
+            f"its retransmission timers fire below the lookahead bound "
+            f"and its backoff jitter draws from one shared stream whose "
+            f"order is a global side channel (use kernel='serial' or "
+            f"'auto')"
+        )
     return lookahead
 
 

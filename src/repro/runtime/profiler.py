@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 #: barriers, mailbox flushes and artifact merging charged by the
 #: coordinator (measured, not guessed — Amdahl's law needs a number).
 PHASE_ORDER = (
-    "kernel", "network", "protocol", "consensus",
+    "kernel", "network", "transport", "protocol", "consensus",
     "failure_detection", "workload", "checkers", "sync",
 )
 
@@ -36,10 +36,14 @@ def classify_kind(kind: str) -> str:
 
     Consensus substrates nest their namespace under the protocol's
     (``amc.cons.propose``), so classification matches anywhere in the
-    dotted path; the failure detector owns the ``fd`` root.
+    dotted path; the failure detector owns the ``fd`` root and the
+    reliable transport's control traffic the ``tsp`` root (its *data*
+    frames keep their protocol kinds and classify as usual).
     """
     if kind.startswith("fd."):
         return "failure_detection"
+    if kind.startswith("tsp."):
+        return "transport"
     if ".cons." in kind or kind.startswith("cons."):
         return "consensus"
     return "protocol"

@@ -1,0 +1,17 @@
+"""Self-stabilizing reliable transport beneath the multicast protocols.
+
+See :mod:`repro.transport.reliable` for the protocol; mounted via
+``build_system(..., transport="reliable")`` or
+``ScenarioSpec.transport``.
+"""
+
+from repro.transport.reliable import (
+    ACK_KIND,
+    ReliableTransport,
+    TransportStats,
+)
+
+#: Transport modes accepted by ``build_system`` / ``ScenarioSpec``.
+TRANSPORTS = ("none", "reliable")
+
+__all__ = ["ACK_KIND", "ReliableTransport", "TransportStats", "TRANSPORTS"]

@@ -6,6 +6,8 @@ fixture passes benignly, is caught under delay/reorder, and shrinks to
 a reproducer of at most 5 faults that replays deterministically.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.adversary.explorer import run_case
@@ -39,6 +41,14 @@ A1_SCENARIO = ScenarioSpec(
     checkers=("properties",),
 )
 
+# The lossy adversaries break quasi-reliability on purpose; a1 only
+# stays green above them with the transport mounted (and then the run
+# must also self-stabilize once the faults stop).
+A1_RELIABLE_SCENARIO = dataclasses.replace(
+    A1_SCENARIO, name="explorer-a1-reliable", transport="reliable",
+    checkers=("properties", "stabilization"),
+)
+
 BROKEN_SCENARIO = ScenarioSpec(
     name="selftest",
     protocol=PROTOCOL_NAME,
@@ -49,13 +59,26 @@ BROKEN_SCENARIO = ScenarioSpec(
 
 
 class TestRunCase:
-    @pytest.mark.parametrize("adversary_name",
-                             [n for n in ADVERSARIES if n != "none"])
+    @pytest.mark.parametrize(
+        "adversary_name",
+        [n for n in ADVERSARIES
+         if n != "none" and not n.startswith("lossy-")])
     def test_a1_green_under_every_adversary(self, adversary_name):
         case = run_case(A1_SCENARIO, get_adversary(adversary_name),
                         seed=1)
         assert case.ok, case.violation.message
         assert case.verdicts == {"properties": "ok"}
+        assert case.total_faults > 0
+
+    @pytest.mark.parametrize(
+        "adversary_name",
+        [n for n in ADVERSARIES if n.startswith("lossy-")])
+    def test_a1_green_under_lossy_with_transport(self, adversary_name):
+        case = run_case(A1_RELIABLE_SCENARIO,
+                        get_adversary(adversary_name), seed=1)
+        assert case.ok, case.violation.message
+        assert case.verdicts == {"properties": "ok",
+                                 "stabilization": "ok"}
         assert case.total_faults > 0
 
     def test_case_is_deterministic(self):
@@ -124,6 +147,70 @@ class TestBrokenFixture:
         assert not again.ok
         assert again.delivery_orders == minimal.delivery_orders
         assert again.violation.message == minimal.violation.message
+
+
+class TestLossyWithoutTransport:
+    """``transport="none"`` + drop genuinely breaks a checker.
+
+    The mirror image of the green lossy grid above, and the proof that
+    those runs are not vacuous: strip the transport and the very same
+    fault class produces a real, shrinkable, replayable counterexample
+    — exactly like the broken-FIFO fixture does for reordering.
+    """
+
+    SCENARIO = ScenarioSpec(
+        name="lossy-no-transport",
+        protocol="a1",
+        group_sizes=(2, 2),
+        workload=WorkloadSpec(
+            kind="poisson", rate=2.0, duration=8.0,
+            destinations=DestinationSpec(kind="uniform-k", k=2),
+        ),
+        checkers=("properties",),
+        # a1 livelocks on a dropped protocol message (it retransmits
+        # nothing itself); a tight event cap turns that livelock into
+        # a fast, deterministic quiescence violation.
+        max_events=200_000,
+    )
+    DROP = AdversarySpec(
+        name="drop-only",
+        injectors=(InjectorSpec(kind="drop",
+                                params=(("probability", 0.35),)),),
+    )
+
+    def test_drop_without_transport_breaks_a_checker(self):
+        case = run_case(self.SCENARIO, self.DROP, seed=1)
+        assert not case.ok
+        assert case.violation.checker == "quiescence"
+        assert case.total_faults > 0
+
+    def test_violation_shrinks_and_replays_via_artifact(self, tmp_path):
+        from repro.adversary.artifact import replay_file, write_artifact
+
+        case = run_case(self.SCENARIO, self.DROP, seed=1)
+        outcome = shrink(case, budget=16)
+        minimal = outcome.minimal
+        assert not minimal.ok
+        # One dropped message is enough to wedge a1 — the shrinker
+        # finds that minimal schedule.
+        assert minimal.total_faults == 1
+
+        path = tmp_path / "lossy_counterexample.json"
+        write_artifact(minimal, str(path),
+                       shrink_summary=outcome.summary())
+        result = replay_file(str(path))
+        assert result.reproduced, result.diffs
+        assert result.case.violation.checker == "quiescence"
+
+    def test_transport_repairs_the_same_schedule(self):
+        """Mounting the transport turns the red cell green, same seed."""
+        repaired = dataclasses.replace(
+            self.SCENARIO, name="lossy-repaired", transport="reliable",
+            checkers=("properties", "stabilization"),
+        )
+        case = run_case(repaired, self.DROP, seed=1)
+        assert case.ok, case.violation.message
+        assert case.total_faults > 0
 
 
 class TestShrinkMechanics:

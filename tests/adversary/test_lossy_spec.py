@@ -1,0 +1,117 @@
+"""Spec-level contracts for the lossy injector kinds.
+
+Round-trips of the drop/duplicate/corrupt specs (including the
+Gilbert–Elliott burst knobs and the ``until`` horizon), the error
+messages that advertise the new kinds, and the committed
+``COUNTEREXAMPLE_lossy_channel.json`` — the shrunk proof that lossy
+links without the transport break a real checker, pinned at the repo
+root the way the campaign reports are.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.adversary.artifact import SCHEMA, load_artifact, replay_file
+from repro.adversary.injectors import INJECTOR_TYPES
+from repro.adversary.spec import (
+    ADVERSARIES,
+    INJECTOR_KINDS,
+    AdversarySpec,
+    InjectorSpec,
+    get_adversary,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+COUNTEREXAMPLE = os.path.abspath(
+    os.path.join(REPO_ROOT, "COUNTEREXAMPLE_lossy_channel.json"))
+
+LOSSY_SPECS = {
+    "drop": InjectorSpec(
+        kind="drop",
+        params=(("probability", 0.15), ("until", 25.0)),
+    ),
+    "drop-burst": InjectorSpec(
+        kind="drop",
+        params=(("probability", 0.05), ("burst_probability", 0.6),
+                ("burst_enter", 0.05), ("burst_exit", 0.2),
+                ("until", 25.0)),
+    ),
+    "duplicate": InjectorSpec(
+        kind="duplicate",
+        params=(("probability", 0.10), ("until", 25.0)),
+        max_faults=50,
+    ),
+    "corrupt": InjectorSpec(
+        kind="corrupt",
+        params=(("probability", 0.05),),
+        skip_faults=3,
+    ),
+}
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("label", sorted(LOSSY_SPECS))
+    def test_injector_spec_round_trips(self, label):
+        spec = AdversarySpec(name=label,
+                             injectors=(LOSSY_SPECS[label],))
+        again = AdversarySpec.from_dict(spec.to_dict())
+        assert again == spec
+        # Value-level checks so equality can't hide a lossy encoder.
+        injector = again.injectors[0]
+        assert injector.params == LOSSY_SPECS[label].params
+        assert injector.skip_faults == LOSSY_SPECS[label].skip_faults
+        assert injector.max_faults == LOSSY_SPECS[label].max_faults
+
+    @pytest.mark.parametrize(
+        "name", [n for n in ADVERSARIES if n.startswith("lossy-")])
+    def test_builtin_lossy_adversaries_round_trip(self, name):
+        spec = get_adversary(name)
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+        # And survive JSON, the artifact transport.
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert AdversarySpec.from_dict(data) == spec
+
+    def test_with_window_preserves_lossy_params(self):
+        spec = LOSSY_SPECS["drop-burst"]
+        windowed = spec.with_window(skip_faults=2, max_faults=7)
+        assert windowed.params == spec.params
+        assert windowed.skip_faults == 2
+        assert windowed.max_faults == 7
+
+
+class TestErrorMessages:
+    def test_unknown_kind_lists_the_lossy_kinds(self):
+        with pytest.raises(ValueError) as err:
+            InjectorSpec(kind="nope")
+        message = str(err.value)
+        for kind in ("drop", "duplicate", "corrupt"):
+            assert kind in message, \
+                f"error message does not advertise {kind!r}: {message}"
+
+    def test_spec_kinds_and_injector_registry_agree(self):
+        """The spec-level allowlist and the factory registry are the
+        same set, so the apply-time error can never disagree with the
+        construction-time one."""
+        assert set(INJECTOR_KINDS) == set(INJECTOR_TYPES)
+
+
+class TestCommittedCounterexample:
+    def test_artifact_is_valid_and_minimal(self):
+        data = load_artifact(COUNTEREXAMPLE)
+        assert data["schema"] == SCHEMA
+        assert data["scenario"]["transport"] == "none"
+        kinds = [inj["kind"] for inj in data["adversary"]["injectors"]]
+        assert kinds == ["drop"]
+        # The shrinker got it down to a single dropped message.
+        assert data["expected"]["total_faults"] == 1
+        assert data["violation"] is not None
+
+    def test_artifact_reproduces_bit_identically(self):
+        result = replay_file(COUNTEREXAMPLE)
+        assert result.reproduced, result.diffs
+        violation = result.case.violation
+        assert violation is not None
+        assert violation.checker == "quiescence"
+        assert result.case.total_faults == 1

@@ -289,6 +289,51 @@ class TestNetwork:
         with pytest.raises(ValueError, match="not installed"):
             net.remove_delay_hook(lambda m, d: d)
 
+    def test_bound_method_delay_hook_round_trips(self):
+        """Same equality contract as delivery filters: a bound method
+        is a fresh object per attribute access, so dedup and removal
+        must match by ==, not identity."""
+        sim, topo, net = _network()
+
+        class Skewer:
+            def hook(self, msg, delay):
+                return delay
+
+        skewer = Skewer()
+        net.add_delay_hook(skewer.hook)
+        with pytest.raises(ValueError, match="already installed"):
+            net.add_delay_hook(skewer.hook)
+        net.remove_delay_hook(skewer.hook)
+        # Fully removed: a second removal is the not-installed error.
+        with pytest.raises(ValueError, match="not installed"):
+            net.remove_delay_hook(skewer.hook)
+
+    def test_inject_copy_delivers_a_fresh_accounted_clone(self):
+        """The duplication seam: the clone is a distinct Message (so
+        corrupting one copy can't leak into the other), shares the
+        payload dict, carries the original wire word, and is counted
+        as a real extra copy on the wire."""
+        sim, topo, net = _network()
+        got = []
+        net.process(1).register_handler("test", lambda m: got.append(m))
+        net.send(0, 1, "test", {"x": 1})
+        # Grab the in-flight copy from the trace's send event.
+        original = net.trace.events[0].msg
+        net.inject_copy(original, 0.5)
+        sim.run()
+        assert len(got) == 2
+        clone = got[0] if got[0] is not original else got[1]
+        assert clone is not original
+        assert clone.payload is original.payload
+        assert clone.wire == original.wire
+        assert clone.src == original.src
+        assert clone.dst == original.dst
+        assert net.stats.duplicated == 1
+        # Both copies were accounted as sends (stats and trace alike).
+        assert net.stats.total_messages == 2
+        sends = [e for e in net.trace.events if e.event == "send"]
+        assert len(sends) == 2
+
     def test_duplicate_registration_rejected(self):
         sim, topo, net = _network()
         with pytest.raises(ValueError):
