@@ -137,6 +137,17 @@ def _store_metrics(system) -> Dict[str, float]:
     return store_metrics(system)
 
 
+def _reconfig_metrics(system) -> Dict[str, float]:
+    """Elastic-repartitioning counters (see :mod:`repro.reconfig.metrics`).
+
+    All zeros on a static store scenario, so a rebalance-on/off grid
+    axis yields comparable rows.  Only valid for store scenarios.
+    """
+    from repro.reconfig.metrics import reconfig_metrics
+
+    return reconfig_metrics(system)
+
+
 def _involvement_metrics(system) -> Dict[str, float]:
     """Per-group involvement metrics (see :mod:`repro.store.metrics`).
 
@@ -159,6 +170,7 @@ EXTRACTORS: Dict[str, MetricExtractor] = {
     "transport": transport_metrics,
     "store": _store_metrics,
     "involvement": _involvement_metrics,
+    "reconfig": _reconfig_metrics,
 }
 
 

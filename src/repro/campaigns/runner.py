@@ -75,26 +75,33 @@ def _check_stabilization(system) -> None:
     check_stabilization(system)
 
 
+def _check_reconfig(system) -> None:
+    from repro.reconfig.checker import check_reconfig
+
+    check_reconfig(_store_cluster(system))
+
+
 CHECKERS: Dict[str, Callable[[object], None]] = {
     "properties": _check_properties,
     "genuineness": _check_genuineness,
     "serializability": _check_serializability,
     "convergence": _check_convergence,
     "stabilization": _check_stabilization,
+    "reconfig": _check_reconfig,
 }
 
 #: Checkers that need the full message trace recorded during the run.
 TRACE_CHECKERS = frozenset({"genuineness"})
 
 #: Checkers that only make sense with a mounted store cluster.
-STORE_CHECKERS = frozenset({"serializability", "convergence"})
+STORE_CHECKERS = frozenset({"serializability", "convergence", "reconfig"})
 
 #: Metric families that need the trace (involvement accounting) — the
 #: same auto-enable rule TRACE_CHECKERS applies to checkers.
 TRACE_METRICS = frozenset({"involvement"})
 
 #: Metric families that read ``system.store_cluster``.
-STORE_METRICS = frozenset({"store", "involvement"})
+STORE_METRICS = frozenset({"store", "involvement", "reconfig"})
 
 
 def run_checkers(system, spec: ScenarioSpec) -> Dict[str, str]:
@@ -166,6 +173,19 @@ def validate_spec(spec: ScenarioSpec) -> None:
             raise ValueError(
                 f"scenario {spec.name!r}: {sorted(store_only)} require a "
                 f"store scenario — set ScenarioSpec.store to a StoreSpec"
+            )
+    elif spec.store.data_groups is not None:
+        # Explicit partition assignments must name groups that exist in
+        # *this* topology; catching the mismatch at spec time turns a
+        # mid-campaign KeyError (per scenario, per seed, per worker)
+        # into one immediate error naming the scenario.
+        n_groups = len(spec.group_sizes)
+        bad = sorted(g for g in spec.store.data_groups
+                     if not 0 <= g < n_groups)
+        if bad:
+            raise ValueError(
+                f"scenario {spec.name!r}: store data_groups {bad} outside "
+                f"the topology's groups 0..{n_groups - 1}"
             )
     if spec.detector == "heartbeat" and spec.heartbeat_horizon is None:
         # Message-driven heartbeats reschedule forever; without a
@@ -281,6 +301,14 @@ def _build_parallel_scenario(spec: ScenarioSpec, seed: int):
     caller decides whether that is fatal (``kernel="parallel"``) or a
     fallback (``kernel="auto"``).
     """
+    from repro.runtime.parallel import ParallelKernelError
+
+    if spec.store is not None and spec.store.elastic:
+        raise ParallelKernelError(
+            "elastic store scenarios are outside the parallel envelope: "
+            "the load balancer is a global controller and WrongEpoch "
+            "bounce callbacks cross groups outside the network"
+        )
     crash_rng = RngRegistry(seed).stream("campaign-crashes")
     from repro.net.topology import Topology
 

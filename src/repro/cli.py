@@ -20,6 +20,9 @@ Usage::
     python -m repro.cli store --protocol a1 --groups 2,2,2,2 --rate 1
     python -m repro.cli store --protocol a2 --routing broadcast
 
+    python -m repro.cli rebalance --seeds 1,2,3 --out results/
+    python -m repro.cli rebalance --explore --max-scenarios 2
+
     python -m repro.cli parallel --scenario both --jobs 2
     python -m repro.cli campaign cross-protocol --kernel auto
 
@@ -47,6 +50,14 @@ transactions routed by key ownership over genuine atomic multicast (or
 broadcast-everything for the comparison) — checks one-copy
 serializability and convergence, and prints commit latency plus the
 per-group involvement table that quantifies genuineness.
+
+The ``rebalance`` verb runs the elastic-repartitioning campaign
+(:mod:`repro.reconfig`): the same zipf-skewed workload with the load
+balancer off (the frozen epoch-0 map) and on, at 16 and 24 data
+groups, every cell gated by the serializability and reconfig checkers.
+It prints the static-vs-rebalance committed-throughput table and, with
+``--explore``, aims the schedule explorer at the migration window and
+shrinks any violation to a replayable counterexample.
 
 The ``parallel`` verb runs a small and a large (64-process heartbeat)
 scenario under both the serial and the conservative parallel kernel
@@ -495,6 +506,7 @@ def store_main(argv: List[str]) -> int:
               f"mean {metrics['txn_latency_mean']:.2f}, "
               f"p50 {metrics['txn_latency_p50']:.2f}, "
               f"p90 {metrics['txn_latency_p90']:.2f}, "
+              f"p99 {metrics['txn_latency_p99']:.2f}, "
               f"max {metrics['txn_latency_max']:.2f}")
     print("  involvement (sent/recv copies vs transactions addressed):")
     for gid in range(len(group_sizes)):
@@ -886,6 +898,142 @@ def _torture_selftest(args, seeds: Optional[List[int]]) -> int:
     return 0
 
 
+def rebalance_main(argv: List[str]) -> int:
+    """The ``rebalance`` verb: elastic repartitioning vs the static map."""
+    import json
+    import os
+
+    from repro.campaigns.library import get_campaign
+    from repro.campaigns.runner import CampaignRunner
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli rebalance",
+        description="Run the rebalance campaign (elastic repartitioning "
+                    "vs the frozen epoch-0 partition map under "
+                    "zipf-skewed load), persist CAMPAIGN_rebalance.json, "
+                    "and print the static-vs-rebalance committed-"
+                    "throughput comparison.  --explore additionally "
+                    "drives the adversary cells through the schedule "
+                    "explorer, shrinking any checker violation to a "
+                    "replayable COUNTEREXAMPLE_*.json.",
+    )
+    parser.add_argument("--seeds", type=str, default=None, metavar="CSV",
+                        help="comma-separated seed override, e.g. 1,2,3")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--out", type=str, default=".", metavar="DIR",
+                        help="directory for campaign artefacts")
+    parser.add_argument("--max-scenarios", type=int, default=None,
+                        metavar="K",
+                        help="truncate the grid to its first K scenarios "
+                             "(smoke runs)")
+    parser.add_argument("--explore", action="store_true",
+                        help="drive the adversary cells through the "
+                             "schedule explorer and shrink any violation")
+    parser.add_argument("--shrink-budget", type=int, default=120,
+                        metavar="N",
+                        help="max candidate runs per shrink (default 120)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the comparison table as JSON")
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_scenarios is not None and args.max_scenarios < 1:
+        parser.error(f"--max-scenarios must be >= 1, "
+                     f"got {args.max_scenarios}")
+    if args.shrink_budget < 1:
+        parser.error(f"--shrink-budget must be >= 1, "
+                     f"got {args.shrink_budget}")
+    seeds = _parse_seeds(parser, args.seeds)
+
+    campaign = get_campaign("rebalance", seeds=seeds)
+    if args.max_scenarios is not None:
+        campaign.scenarios = campaign.scenarios[:args.max_scenarios]
+    runner = CampaignRunner(campaign, jobs=args.jobs)
+    result = runner.run()
+    path = result.write(args.out)
+    print(result.markdown_summary())
+    print(f"\nwrote {path}\n")
+
+    # Static-vs-rebalance comparison, one row per benign topology pair.
+    arms: Dict[int, Dict[str, object]] = {}
+    for spec in campaign.scenarios:
+        if spec.adversary not in (None, "none") or spec.store is None:
+            continue
+        arm = "rebalance" if spec.store.rebalance_interval > 0 else "static"
+        arms.setdefault(len(spec.group_sizes), {})[arm] = spec
+    rows = []
+    print("committed throughput: static epoch-0 map vs online rebalance")
+    print(f"  {'groups':>6s} {'static':>8s} {'rebal':>8s} {'gain':>7s} "
+          f"{'migs':>5s} {'moved':>6s} {'bounces':>8s}")
+    for n_groups in sorted(arms):
+        pair = arms[n_groups]
+        if len(pair) != 2:
+            continue  # truncated smoke run
+        aggs = {arm: result.aggregates(spec.name)
+                for arm, spec in pair.items()}
+        static = aggs["static"]["txns_per_vtime"].mean
+        rebal = aggs["rebalance"]["txns_per_vtime"].mean
+        gain = 100.0 * (rebal - static) / static if static else 0.0
+        migs = aggs["rebalance"]["reconfigs_completed"].mean
+        moved = aggs["rebalance"]["reconfig_keys_moved"].mean
+        bounces = aggs["rebalance"]["wrong_epoch_bounces"].mean
+        print(f"  {n_groups:>6d} {static:>8.3f} {rebal:>8.3f} "
+              f"{gain:>+6.1f}% {migs:>5.1f} {moved:>6.1f} {bounces:>8.1f}")
+        rows.append({
+            "n_groups": n_groups, "static_tps": round(static, 4),
+            "rebalance_tps": round(rebal, 4), "gain_pct": round(gain, 2),
+            "migrations": migs, "keys_moved": moved, "bounces": bounces,
+        })
+    status = 0 if result.all_checkers_ok else 1
+    for scenario, seed, checker, verdict in result.failures():
+        print(f"CHECKER FAILED: {scenario} seed={seed} "
+              f"{checker}: {verdict}", file=sys.stderr)
+
+    counterexamples = []
+    if args.explore:
+        from repro.adversary.artifact import write_artifact
+        from repro.adversary.explorer import run_case
+        from repro.adversary.shrink import shrink
+        from repro.adversary.spec import get_adversary
+
+        os.makedirs(args.out, exist_ok=True)
+        for spec in campaign.scenarios:
+            if spec.adversary in (None, "none"):
+                continue
+            adversary = get_adversary(spec.adversary)
+            for seed in spec.seeds:
+                case = run_case(spec, adversary, seed)
+                print(case.describe())
+                if case.ok:
+                    continue
+                outcome = shrink(case, budget=args.shrink_budget)
+                minimal = outcome.minimal
+                print(f"  shrunk: {minimal.describe()} "
+                      f"({outcome.runs_used} candidate runs)")
+                artifact = os.path.join(
+                    args.out, _artifact_name(spec.name, seed))
+                write_artifact(minimal, artifact,
+                               shrink_summary=outcome.summary())
+                counterexamples.append(artifact)
+                print(f"  wrote {artifact}", file=sys.stderr)
+                status = 1
+
+    if args.json:
+        record = {
+            "campaign": path,
+            "comparison": rows,
+            "all_checkers_ok": result.all_checkers_ok,
+            "counterexamples": counterexamples,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return status
+
+
 def parallel_main(argv: List[str]) -> int:
     """The ``parallel`` verb: prove serial/parallel bit-identity."""
     import time
@@ -993,6 +1141,8 @@ def main(argv: List[str] = None) -> int:
         return parallel_main(argv[1:])
     if argv and argv[0] == "lossy":
         return lossy_main(argv[1:])
+    if argv and argv[0] == "rebalance":
+        return rebalance_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",

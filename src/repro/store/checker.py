@@ -15,9 +15,9 @@ to take that on faith.  It verifies, from observed behaviour only:
    must be executed by every destination partition that still has a
    correct replica (no partial commits);
 3. **global embedding** (finalize) — the per-partition canonical
-   orders, read as precedence constraints, must admit a single global
-   serial order (Kahn's topological sort; a cycle is a serializability
-   violation);
+   orders of *data* transactions, read as precedence constraints, must
+   admit a single global serial order (Kahn's topological sort; a
+   cycle is a serializability violation);
 4. **one-copy equivalence** (finalize) — replaying every transaction
    in that global order on a *single-copy* store must reproduce both
    every read value and cas outcome each replica observed at execution
@@ -26,6 +26,22 @@ to take that on faith.  It verifies, from observed behaviour only:
 Steps 1–3 establish that some serial order exists; step 4 establishes
 that the distributed execution is indistinguishable from executing it
 on one copy — which is the definition of one-copy serializability.
+
+**Epochs.**  Elastic scenarios (:mod:`repro.reconfig`) interleave
+reconfig (R) and handoff (H) control messages with data transactions,
+so the post-hoc entry point :func:`check_serializability` folds over
+per-replica *execution journals* (execution can lag delivery behind
+service queues and migration stalls), with the ``@mid`` control
+markers included as order items.  The controls do not join the global
+precedence graph — a control may legitimately overtake a stalled data
+head, so its journal adjacency with unrelated data carries no
+semantics — instead each group's journal is *walked* deterministically
+(epoch-0 map + the group's own R/H sequence) to recompute which ops
+each group should have executed under which epoch.  The one-copy
+replay then executes exactly those ops, which makes fenced
+(``WrongEpoch``) ops skip on the single copy precisely where they were
+skipped in the run.  With no control messages the walk is the constant
+epoch-0 map and every rule degenerates to the static behaviour above.
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.interfaces import AppMessage
 from repro.net.topology import Topology
+from repro.reconfig.txn import Handoff, ReconfigOp, is_control
 from repro.store.transaction import Transaction, execute
 
 
@@ -51,12 +68,47 @@ class SerializabilityViolation(AssertionError):
         self.context: Dict[str, object] = context
 
 
+class _GroupWalk:
+    """The deterministic per-group epoch walk, and what it derives.
+
+    Walking one group's canonical journal against the epoch-0 map
+    recomputes, position by position, the map view every correct
+    replica of that group must have held — and therefore which ops it
+    must have executed (``facts``), which reconfigs its CAS let proceed
+    (``proceed``), and which keys were still mid-migration when the run
+    ended (``pending_end``).
+    """
+
+    def __init__(self) -> None:
+        #: (txn id, key) -> did the responsible group execute the ops?
+        self.facts: Dict[Tuple[str, str], bool] = {}
+        #: reconfig id -> the source CAS decision.
+        self.proceed: Dict[str, bool] = {}
+        #: reconfig id -> its op (for the moving key set).
+        self.ops: Dict[str, ReconfigOp] = {}
+        #: reconfig id -> data txns before R in the source's journal
+        #: (the one-copy replay captures the handoff's expected
+        #: snapshot once these have replayed).
+        self.r_preds: Dict[str, Set[str]] = {}
+        #: reconfig id -> {moving key -> the earlier reconfig whose
+        #: handoff imported that key into this move's source}.  A key's
+        #: value provenance crosses groups with it, so the snapshot
+        #: capture must also wait for the pre-move data of every former
+        #: owner on the key's import chain.
+        self.key_imports: Dict[str, Dict[str, str]] = {}
+        #: gid -> the group's final map view.
+        self.views: Dict[int, object] = {}
+        #: gid -> keys still awaiting their handoff at the end.
+        self.pending_end: Dict[int, Set[str]] = {}
+
+
 class StreamingSerializabilityChecker:
     """Incremental collector + final one-copy verifier.
 
     Feed every A-Deliver event through :meth:`on_delivery` (directly,
-    or via ``system.add_delivery_hook``); replica-consistency
-    violations raise at the offending delivery.  After the run,
+    or via ``system.add_delivery_hook``), or fold finished execution
+    journals in with :meth:`ingest_journals`; replica-consistency
+    violations raise at the offending item.  After the run,
     :meth:`finalize` runs the atomicity, embedding and replay checks
     against the finished cluster.
     """
@@ -65,34 +117,58 @@ class StreamingSerializabilityChecker:
         self._topology = topology
         self._group_order: Dict[int, List[str]] = {}
         self._positions: Dict[int, int] = {}
-        self._txns: Dict[str, Transaction] = {}
+        self._txns: Dict[str, object] = {}
         self.deliveries = 0
+        #: Filled by finalize: reconfig id -> {"proceeded": bool,
+        #: "snapshot": ((key, value), ...)} — the authoritative CAS
+        #: decision and the one-copy source state at each R.  The
+        #: reconfig checker compares the actual handoffs against this.
+        self.reconfig_replay: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Streaming half
     # ------------------------------------------------------------------
     def on_delivery(self, pid: int, msg: AppMessage) -> None:
-        """Fold one execution event into the per-group canonical orders."""
+        """Fold one execution event into the per-group canonical orders.
+
+        Control messages (reconfig/handoff) are skipped here: the
+        delivery stream interleaves them with data, but their order
+        positions are only meaningful in the execution journals, which
+        :func:`check_serializability` folds post-hoc.
+        """
+        if is_control(msg.payload):
+            return
         txn = Transaction.from_payload(msg.payload)
-        self._txns.setdefault(txn.txn_id, txn)
+        self._ingest(pid, txn.txn_id, txn)
+        self.deliveries += 1
+
+    def ingest_journals(self, cluster) -> None:
+        """Fold every replica's execution journal (data + controls)."""
+        for pid in sorted(cluster.stores):
+            store = cluster.stores[pid]
+            for item_id, item in zip(store.applied, store.applied_txns):
+                self._ingest(pid, item_id, item)
+
+    def _ingest(self, pid: int, item_id: str, item) -> None:
+        if item_id not in self._txns:
+            self._txns[item_id] = item
         gid = self._topology.group_of(pid)
         order = self._group_order.setdefault(gid, [])
         position = self._positions.get(pid, 0)
         if position < len(order):
-            if order[position] != txn.txn_id:
+            if order[position] != item_id:
                 raise SerializabilityViolation(
-                    f"replica {pid} executed {txn.txn_id} at position "
+                    f"replica {pid} executed {item_id} at position "
                     f"{position}, but group {gid}'s canonical order has "
                     f"{order[position]} there — partition replicas "
                     f"disagree on their serial order",
                     kind="replica_divergence", pid=pid, gid=gid,
-                    txn=txn.txn_id, position=position,
+                    txn=item_id, position=position,
                     expected=order[position],
                 )
         else:
-            order.append(txn.txn_id)
+            order.append(item_id)
         self._positions[pid] = position + 1
-        self.deliveries += 1
 
     def group_orders(self) -> Dict[int, Tuple[str, ...]]:
         """Per-group canonical execution orders observed so far."""
@@ -104,10 +180,11 @@ class StreamingSerializabilityChecker:
     # ------------------------------------------------------------------
     def finalize(self, cluster) -> Tuple[str, ...]:
         """Run atomicity + embedding + one-copy replay; returns the
-        global serial order on success."""
+        global serial order (data transactions) on success."""
         self._check_atomicity(cluster)
         order = self._global_order()
-        self._replay_and_compare(cluster, order)
+        walk = self._walk_groups(cluster)
+        self._replay_and_compare(cluster, order, walk)
         return order
 
     def _correct_members(self, cluster, gid: int) -> List[int]:
@@ -115,44 +192,66 @@ class StreamingSerializabilityChecker:
         return [pid for pid in self._topology.members(gid)
                 if not network.process(pid).crashed]
 
+    def _stalled_in(self, cluster, gid: int) -> Set[str]:
+        """Data txns still queued behind a migration at group ``gid``."""
+        stalled: Set[str] = set()
+        for pid in self._correct_members(cluster, gid):
+            stalled.update(cluster.stores[pid].stalled_txn_ids())
+        return stalled
+
     def _check_atomicity(self, cluster) -> None:
         cast_map = cluster.system.log.cast_map
         executed_in: Dict[str, Set[int]] = {}
         for gid, order in self._group_order.items():
-            for txn_id in order:
-                executed_in.setdefault(txn_id, set()).add(gid)
-        for txn_id, gids in sorted(executed_in.items()):
-            cast = cast_map.get(txn_id)
+            for item_id in order:
+                executed_in.setdefault(item_id, set()).add(gid)
+        for item_id, gids in sorted(executed_in.items()):
+            mid = item_id[1:] if item_id.startswith("@") else item_id
+            cast = cast_map.get(mid)
             if cast is None:
                 raise SerializabilityViolation(
-                    f"transaction {txn_id} was executed but never "
+                    f"transaction {item_id} was executed but never "
                     f"submitted",
-                    kind="phantom_txn", txn=txn_id,
+                    kind="phantom_txn", txn=item_id,
                 )
             for gid in cast.dest_groups:
                 if gid in gids:
                     continue
                 if not self._correct_members(cluster, gid):
                     continue  # the whole partition crashed; excusable
+                if (not item_id.startswith("@")
+                        and item_id in self._stalled_in(cluster, gid)):
+                    # Queued behind a migration whose handoff never
+                    # landed (e.g. the designated caster crashed): the
+                    # txn is uncommitted, not partially committed.
+                    continue
                 raise SerializabilityViolation(
-                    f"partial commit: {txn_id} was executed by "
+                    f"partial commit: {item_id} was executed by "
                     f"partition(s) {sorted(gids)} but destination "
                     f"partition {gid} (with correct replicas) never "
                     f"executed it",
-                    kind="partial_commit", txn=txn_id, gid=gid,
+                    kind="partial_commit", txn=item_id, gid=gid,
                     executed_in=sorted(gids),
                 )
 
     def _global_order(self) -> Tuple[str, ...]:
-        """Kahn's topological sort over the per-group precedence chains.
+        """Kahn's topological sort over the per-group data chains.
 
-        Ties (transactions with no constraint between them) break by
-        txn id, so the returned order is deterministic.
+        Only data transactions join the graph: each group's journal
+        restricted to data is its serialization commitment (data never
+        reorders against data), while a control's position relative to
+        *unrelated* data is an artifact of the stall-overtake rule and
+        must not constrain the global order.  Ties (transactions with
+        no constraint between them) break by txn id, so the returned
+        order is deterministic.
         """
-        successors: Dict[str, Set[str]] = {t: set() for t in self._txns}
-        indegree: Dict[str, int] = {t: 0 for t in self._txns}
+        data_ids = {t for t, item in self._txns.items()
+                    if isinstance(item, Transaction)}
+        successors: Dict[str, Set[str]] = {t: set() for t in data_ids}
+        indegree: Dict[str, int] = {t: 0 for t in data_ids}
         for order in self._group_order.values():
-            for earlier, later in zip(order, order[1:]):
+            chain = [t for t in order if t in data_ids]
+            for earlier, later in zip(chain, chain[1:]):
                 if later not in successors[earlier]:
                     successors[earlier].add(later)
                     indegree[later] += 1
@@ -166,7 +265,7 @@ class StreamingSerializabilityChecker:
                 indegree[nxt] -= 1
                 if indegree[nxt] == 0:
                     heapq.heappush(ready, nxt)
-        if len(serial) != len(self._txns):
+        if len(serial) != len(data_ids):
             stuck = sorted(t for t, deg in indegree.items() if deg > 0)
             raise SerializabilityViolation(
                 f"no global serial order embeds the per-partition logs: "
@@ -176,52 +275,208 @@ class StreamingSerializabilityChecker:
             )
         return tuple(serial)
 
-    def _replay_and_compare(self, cluster, order: Tuple[str, ...]) -> None:
-        pmap = cluster.partition_map
+    def _walk_groups(self, cluster) -> _GroupWalk:
+        """Re-derive every group's epoch timeline from its journal.
+
+        The walk mirrors the replica's control logic exactly — source
+        CAS, shed, tentative flip, handoff settle/unwind — but runs on
+        the *canonical journal* against the pristine epoch-0 map, so
+        its outputs are a function of the journals alone, independent
+        of any replica's in-memory state.
+        """
+        walk = _GroupWalk()
+        for gid in sorted(self._group_order):
+            order = self._group_order[gid]
+            view = cluster.partition_map.clone()
+            pending: Dict[str, str] = {}
+            shed: Dict[str, str] = {}
+            pend_meta: Dict[str, dict] = {}
+            settled: Set[str] = set()
+            seen_data: List[str] = []
+            imported: Dict[str, str] = {}
+            for item_id in order:
+                item = self._txns[item_id]
+                if isinstance(item, ReconfigOp):
+                    rid = item.reconfig_id
+                    walk.ops[rid] = item
+                    if gid == item.src:
+                        ok = all(
+                            view.group_of(k) == item.src
+                            and k not in pending and k not in shed
+                            for k in item.keys
+                        )
+                        walk.proceed[rid] = ok
+                        if ok:
+                            walk.r_preds[rid] = set(seen_data)
+                            walk.key_imports[rid] = {
+                                k: imported[k] for k in item.keys
+                                if k in imported
+                            }
+                            for k in item.keys:
+                                shed[k] = rid
+                            view.apply_move(item.keys, item.dst)
+                        else:
+                            settled.add(rid)
+                    elif gid == item.dst:
+                        if rid in settled:
+                            continue
+                        pend_meta[rid] = view.assignments_of(item.keys)
+                        for k in item.keys:
+                            pending[k] = rid
+                        view.apply_move(item.keys, item.dst)
+                elif isinstance(item, Handoff):
+                    rid = item.reconfig_id
+                    if rid in settled and rid not in pend_meta:
+                        continue  # duplicate handoff
+                    if gid == item.dst:
+                        prev = pend_meta.pop(rid, None)
+                        if item.aborted:
+                            if prev is not None:
+                                view.apply_assignments(prev)
+                                for k in item.keys:
+                                    if pending.get(k) == rid:
+                                        del pending[k]
+                        else:
+                            if prev is None:
+                                view.apply_move(item.keys, item.dst)
+                            for k in item.keys:
+                                if pending.get(k) == rid:
+                                    del pending[k]
+                                shed.pop(k, None)
+                                imported[k] = rid
+                    settled.add(rid)
+                else:
+                    txn = item
+                    seen_data.append(txn.txn_id)
+                    for op in txn.ops:
+                        key = op[1]
+                        if txn.routes is None:
+                            if view.group_of(key) == gid:
+                                walk.facts[(txn.txn_id, key)] = True
+                        elif txn.route_of(key) == gid:
+                            walk.facts[(txn.txn_id, key)] = (
+                                view.group_of(key) == gid
+                                and key not in pending
+                            )
+            walk.views[gid] = view
+            walk.pending_end[gid] = set(pending)
+        return walk
+
+    def _replay_and_compare(self, cluster, order: Tuple[str, ...],
+                            walk: _GroupWalk) -> None:
+        static_map = cluster.partition_map
         single_copy: Dict[str, object] = {}
+        for rid, ok in walk.proceed.items():
+            if not ok:
+                self.reconfig_replay[rid] = {
+                    "proceeded": False, "snapshot": (),
+                }
+        def closure(rid: str, key: str) -> Set[str]:
+            # Everything the one-copy replay must have executed before
+            # `key`'s value at `rid`'s R is settled: the data preceding
+            # R in the source's journal, plus — recursively, through
+            # the handoff that imported the key into the source — the
+            # pre-move data of every former owner on the key's import
+            # chain.  Every executed write to the key before the move
+            # is in one of those prefixes, and every post-move writer
+            # carries fence legs at each former owner (its first route
+            # for the key is the epoch-0 owner, and each bounce walks
+            # one hop down the chain), so it orders after all of them.
+            memo_key = (rid, key)
+            if memo_key in closure_memo:
+                return closure_memo[memo_key]
+            preds = set(walk.r_preds.get(rid, ()))
+            importer = walk.key_imports.get(rid, {}).get(key)
+            if importer is not None:
+                preds |= closure(importer, key)
+            closure_memo[memo_key] = preds
+            return preds
+
+        closure_memo: Dict[Tuple[str, str], Set[str]] = {}
+        remaining: Dict[Tuple[str, str], Set[str]] = {}
+        captured: Dict[str, Dict[str, object]] = {}
+        for rid in walk.r_preds:
+            captured[rid] = {}
+            for k in walk.ops[rid].keys:
+                remaining[(rid, k)] = set(closure(rid, k))
+
+        def capture_ready() -> None:
+            for rid, k in [ck for ck, preds in remaining.items()
+                           if not preds]:
+                if k in single_copy:
+                    captured[rid][k] = single_copy[k]
+                del remaining[(rid, k)]
+
+        capture_ready()
         for txn_id in order:
             txn = self._txns[txn_id]
-            expected = execute(txn, single_copy)
+            expected = execute(
+                txn, single_copy,
+                owned=lambda key, t=txn: walk.facts.get(
+                    (t.txn_id, key), False),
+            )
+            for preds in remaining.values():
+                preds.discard(txn_id)
+            capture_ready()
             for index, op in enumerate(txn.ops):
                 key = op[1]
-                gid = pmap.group_of(key)
+                gid = (txn.route_of(key) if txn.routes is not None
+                       else static_map.group_of(key))
                 for pid in self._correct_members(cluster, gid):
-                    observed = cluster.stores[pid].effects_of(txn_id)
+                    observed = cluster.stores[pid].effects_of(txn.txn_id)
                     if observed is None:
                         continue  # atomicity already vouched coverage
+                    # Ops the replay fenced out (stale route) have no
+                    # entry in `expected`; the replica must have fenced
+                    # them identically, so both sides read None.
                     if op[0] == "get":
-                        want = expected.reads[index]
+                        want = expected.reads.get(index)
                         got = observed.reads.get(index)
                         if got != want:
                             raise SerializabilityViolation(
                                 f"read divergence: replica {pid} served "
-                                f"{txn_id} op#{index} get({key!r}) = "
+                                f"{txn.txn_id} op#{index} get({key!r}) = "
                                 f"{got!r}, but the one-copy replay "
                                 f"reads {want!r}",
                                 kind="read_divergence", pid=pid,
-                                txn=txn_id, key=key, op_index=index,
+                                txn=txn.txn_id, key=key, op_index=index,
                             )
                     elif op[0] == "cas":
-                        want = expected.cas_applied[index]
+                        want = expected.cas_applied.get(index)
                         got = observed.cas_applied.get(index)
                         if got != want:
                             raise SerializabilityViolation(
                                 f"cas divergence: replica {pid} decided "
-                                f"{txn_id} op#{index} cas({key!r}) "
+                                f"{txn.txn_id} op#{index} cas({key!r}) "
                                 f"applied={got!r}, one-copy replay "
                                 f"says {want!r}",
                                 kind="cas_divergence", pid=pid,
-                                txn=txn_id, key=key, op_index=index,
+                                txn=txn.txn_id, key=key, op_index=index,
                             )
+        for rid, values in captured.items():
+            self.reconfig_replay[rid] = {
+                "proceeded": True,
+                "snapshot": tuple(
+                    (k, values[k]) for k in sorted(walk.ops[rid].keys)
+                    if k in values),
+            }
         # Final states: every correct replica must hold exactly the
-        # one-copy state projected onto its partition.
-        projected: Dict[int, Dict[str, object]] = {}
-        for key, value in single_copy.items():
-            projected.setdefault(pmap.group_of(key), {})[key] = value
+        # one-copy state projected onto its partition, per its group's
+        # *final* epoch view.  Keys still mid-migration at the end of
+        # the run — shed by the source, never installed at the target
+        # because the handoff was lost to a crash — are excluded: their
+        # loss shows up as uncommitted transactions, not divergence.
         for gid in self._topology.group_ids:
-            expected_state = projected.get(gid, {})
+            view = walk.views.get(gid, static_map)
+            skip = walk.pending_end.get(gid, set())
+            expected_state = {
+                key: value for key, value in single_copy.items()
+                if view.group_of(key) == gid and key not in skip
+            }
             for pid in self._correct_members(cluster, gid):
-                got_state = cluster.stores[pid].state
+                got_state = {k: v
+                             for k, v in cluster.stores[pid].state.items()
+                             if k not in skip}
                 if got_state == expected_state:
                     continue
                 diverging = sorted(
@@ -241,14 +496,12 @@ class StreamingSerializabilityChecker:
 def check_serializability(cluster) -> Tuple[str, ...]:
     """Post-hoc one-copy-serializability check over a finished run.
 
-    Feeds the recorded delivery log through the streaming core (the
-    fold is order-insensitive in verdict, exactly like the streaming
-    property checkers) and runs the final checks; returns the global
-    serial order on success.
+    Folds the per-replica execution journals through the streaming core
+    (for static scenarios these equal the delivery logs; for elastic
+    ones they additionally carry the reconfig/handoff markers and the
+    effects of migration stalls) and runs the final checks; returns the
+    global serial order on success.
     """
     checker = StreamingSerializabilityChecker(cluster.system.topology)
-    log = cluster.system.log
-    for pid in log.processes():
-        for msg in log.delivered_messages(pid):
-            checker.on_delivery(pid, msg)
+    checker.ingest_journals(cluster)
     return checker.finalize(cluster)

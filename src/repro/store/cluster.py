@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.reconfig.balancer import LoadBalancer
 from repro.replication.cluster import (
     TappedEndpoint,
     assert_group_convergence,
@@ -33,8 +34,8 @@ from repro.store.service import TransactionalStore
 from repro.store.spec import StoreSpec
 from repro.store.workload import (
     TxnPlan,
+    build_partition_map,
     data_group_ids,
-    partition_keys,
     txn_workload,
 )
 
@@ -79,11 +80,16 @@ class StoreCluster:
                  plans: List[TxnPlan]) -> None:
         self.system = system
         self.spec = spec
+        #: The pristine epoch-0 map (never mutated); each elastic
+        #: replica holds its own clone and mutates it at its delivery
+        #: points.  Checkers replay the epoch timeline from this one.
         self.partition_map = partition_map
         self.stores = stores
         self.clients = clients
         self.tracker = tracker
         self.plans = plans
+        self.data_gids = data_group_ids(spec, system.topology)
+        self.balancer = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,16 +127,30 @@ class StoreCluster:
                 f"scenarios over it need StoreSpec(routing='broadcast')"
             )
         topology = system.topology
-        pmap = PartitionMap(topology,
-                            explicit=partition_keys(spec, topology))
+        pmap = build_partition_map(spec, topology)
+        migrating = spec.rebalance_interval > 0
         stores = {
             pid: TransactionalStore(
-                system.network.process(pid), pmap,
+                system.network.process(pid),
+                pmap.clone() if migrating else pmap,
                 TappedEndpoint(system, pid), routing=spec.routing,
+                service_time=spec.service_time,
+                notice_delay=spec.notice_delay,
             )
             for pid in topology.processes
         }
-        tracker = CommitTracker(system)
+        # Elastic deployments observe commits at execution (execution
+        # can lag delivery behind service queues and migration stalls);
+        # static ones keep the legacy delivery hook — the two coincide
+        # exactly when service_time == 0 and nothing migrates.
+        tracker = CommitTracker(
+            system, source="execution" if spec.elastic else "delivery")
+        if spec.elastic:
+            for store in stores.values():
+                store.on_execute_hooks.append(tracker.on_executed)
+                store.on_reject_hooks.append(tracker.on_rejected)
+                store.peer_crashed = (
+                    lambda q, _n=system.network: _n.process(q).crashed)
         # Clients live in data groups only: a session in a spectator
         # group would make that group a caster, which genuineness
         # legitimately permits — and the idle-bystander measurement
@@ -140,11 +160,24 @@ class StoreCluster:
             for gid in data_group_ids(spec, topology)
             for pid in topology.members(gid)[:spec.clients_per_group]
         ]
-        clients = {pid: StoreClient(stores[pid], tracker)
+        clients = {pid: StoreClient(stores[pid], tracker,
+                                    tag_routes=migrating,
+                                    max_retries=spec.max_retries)
                    for pid in client_pids}
         plans = txn_workload(spec, topology, client_pids,
                              system.rng.stream("store-wl"))
         cluster = cls(system, spec, pmap, stores, clients, tracker, plans)
+        if migrating:
+            for store in stores.values():
+                store.bounce_notify = cluster._on_bounce
+            if owned_pids is None:
+                cluster.balancer = LoadBalancer(
+                    cluster, interval=spec.rebalance_interval,
+                    threshold=spec.rebalance_threshold,
+                    max_keys=spec.rebalance_keys,
+                    mode=spec.rebalance_mode,
+                )
+                cluster.balancer.schedule(spec.start, spec.horizon)
         scheduled = (plans if owned_pids is None
                      else [p for p in plans if p.client in owned_pids])
         for plan in scheduled:
@@ -156,6 +189,16 @@ class StoreCluster:
             )
         system.store_cluster = cluster
         return cluster
+
+    def _on_bounce(self, client_pid: int, txn_id: str, gid: int,
+                   keys: tuple, updates: Dict[str, int]) -> None:
+        """Deliver a WrongEpoch notice to the issuing client session."""
+        client = self.clients.get(client_pid)
+        if client is None:
+            return
+        if self.system.network.process(client_pid).crashed:
+            return  # the notice reaches a dead host; nobody retries
+        client.on_wrong_epoch(txn_id, gid, keys, updates)
 
     # ------------------------------------------------------------------
     # Access

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.reconfig.txn import is_control
 from repro.runtime.report import percentile
 
 
@@ -41,29 +42,33 @@ def store_metrics(system) -> Dict[str, float]:
     cluster = _cluster(system)
     tracker = cluster.tracker
     latencies = tracker.latencies()
+    committed = tracker.committed_originals()
     out: Dict[str, float] = {
         "txn_planned": float(len(cluster.plans)),
-        "txn_committed": float(len(tracker.committed)),
+        "txn_committed": float(len(committed)),
         "txn_uncommitted": float(len(tracker.uncommitted())),
     }
-    multi = [m for m in cluster.system.log.cast_map.values()
-             if len(m.dest_groups) > 1]
-    casts = len(cluster.system.log.cast_map)
+    # Reconfig/handoff control casts are protocol traffic, not client
+    # transactions; keep them out of the realised mix.
+    data_casts = [m for m in cluster.system.log.cast_map.values()
+                  if not is_control(m.payload)]
+    multi = [m for m in data_casts if len(m.dest_groups) > 1]
     out["txn_multi_partition_fraction"] = (
-        len(multi) / casts if casts else 0.0
+        len(multi) / len(data_casts) if data_casts else 0.0
     )
     if latencies:
         out.update({
             "txn_latency_mean": sum(latencies) / len(latencies),
             "txn_latency_p50": percentile(latencies, 0.50),
             "txn_latency_p90": percentile(latencies, 0.90),
+            "txn_latency_p99": percentile(latencies, 0.99),
             "txn_latency_max": max(latencies),
         })
         span = tracker.commit_span()
         first_issue, last_commit = span
         if last_commit > first_issue:
             out["txns_per_vtime"] = (
-                len(tracker.committed) / (last_commit - first_issue)
+                len(committed) / (last_commit - first_issue)
             )
     return out
 

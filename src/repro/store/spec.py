@@ -21,6 +21,22 @@ from repro.store.service import ROUTINGS
 #: Arrival processes for client transactions.
 ARRIVALS = ("poisson", "periodic")
 
+#: Key placement disciplines: pin every key round-robin (legacy), or
+#: let the consistent-hash ring over the data groups own the keys.
+PLACEMENTS = ("explicit", "ring")
+
+#: Load-balancing strategies (mirrors repro.reconfig.balancer.MODES).
+REBALANCE_MODES = ("split", "merge")
+
+#: Key-popularity scopes.  "partition" applies the zipf law within each
+#: partition and picks partitions uniformly — per-group load stays flat
+#: by construction (the legacy YCSB-style mix).  "global" applies one
+#: zipf law over the whole keyspace and picks partitions weighted by
+#: the popularity mass of the keys they own — the partitions holding
+#: globally-hot keys become hot, the skew elastic repartitioning
+#: exists to relieve.
+POPULARITIES = ("partition", "global")
+
 
 @dataclass(frozen=True)
 class StoreSpec:
@@ -57,6 +73,27 @@ class StoreSpec:
     max_partitions: int = 2
     ops_per_txn: int = 2
     zipf_skew: float = 1.0
+    #: Scope of the zipf law: "partition" (legacy, flat per-group load)
+    #: or "global" (hot keys make their owner groups hot).
+    popularity: str = "partition"
+    # Elastic repartitioning (repro.reconfig).  The defaults keep every
+    # existing scenario byte-identical: explicit placement, no service
+    # queue, no balancer.
+    placement: str = "explicit"
+    ring_vnodes: int = 64
+    #: Per-replica serial execution cost per transaction (0 = execute
+    #: at delivery, the legacy behaviour).  Positive values make hot
+    #: partitions queue — the effect rebalancing exists to relieve.
+    service_time: float = 0.0
+    #: Load-balancer tick period (0 = no balancer).
+    rebalance_interval: float = 0.0
+    rebalance_threshold: float = 2.0
+    rebalance_keys: int = 8
+    rebalance_mode: str = "split"
+    #: Modeled latency of a WrongEpoch bounce notice back to a client.
+    notice_delay: float = 1.0
+    #: Retry budget per fenced transaction before the client gives up.
+    max_retries: int = 5
 
     def __post_init__(self) -> None:
         if self.n_keys < 1:
@@ -113,6 +150,66 @@ class StoreSpec:
                     f"StoreSpec periodic arrivals need a non-negative "
                     f"count, got {self.count!r}"
                 )
+        if self.popularity not in POPULARITIES:
+            raise ValueError(
+                f"unknown popularity {self.popularity!r}; "
+                f"have {list(POPULARITIES)}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"have {list(PLACEMENTS)}"
+            )
+        if self.ring_vnodes < 1:
+            raise ValueError(
+                f"StoreSpec needs a positive ring_vnodes, "
+                f"got {self.ring_vnodes!r}"
+            )
+        if self.service_time < 0:
+            raise ValueError(
+                f"StoreSpec needs a non-negative service_time, "
+                f"got {self.service_time!r}"
+            )
+        if self.rebalance_interval < 0:
+            raise ValueError(
+                f"StoreSpec needs a non-negative rebalance_interval, "
+                f"got {self.rebalance_interval!r}"
+            )
+        if self.rebalance_interval > 0 and self.routing != "genuine":
+            raise ValueError(
+                "rebalancing needs routing='genuine': reconfig "
+                "transactions are multicast to exactly {src, dst}"
+            )
+        if self.rebalance_threshold < 1.0:
+            raise ValueError(
+                f"StoreSpec rebalance_threshold must be >= 1.0, "
+                f"got {self.rebalance_threshold!r}"
+            )
+        if self.rebalance_keys < 1:
+            raise ValueError(
+                f"StoreSpec needs a positive rebalance_keys, "
+                f"got {self.rebalance_keys!r}"
+            )
+        if self.rebalance_mode not in REBALANCE_MODES:
+            raise ValueError(
+                f"unknown rebalance_mode {self.rebalance_mode!r}; "
+                f"have {list(REBALANCE_MODES)}"
+            )
+        if self.notice_delay < 0:
+            raise ValueError(
+                f"StoreSpec needs a non-negative notice_delay, "
+                f"got {self.notice_delay!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"StoreSpec needs a non-negative max_retries, "
+                f"got {self.max_retries!r}"
+            )
+
+    @property
+    def elastic(self) -> bool:
+        """Does this spec enable any elastic-repartitioning machinery?"""
+        return self.rebalance_interval > 0 or self.service_time > 0
 
     @property
     def horizon(self) -> float:

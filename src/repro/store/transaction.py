@@ -52,6 +52,14 @@ class Transaction:
     txn_id: str
     client: int
     ops: Tuple[Tuple, ...]
+    #: Optional per-key route tags: ``((key, gid), ...)`` recording the
+    #: group the issuing client addressed each key's ops to.  Static
+    #: deployments leave this None (the owner is unambiguous); elastic
+    #: deployments (:mod:`repro.reconfig`) stamp it so a replica can
+    #: fence a transaction routed under a stale epoch — "this op was
+    #: meant for me, but the key has moved" is only decidable when the
+    #: intent is on the wire.
+    routes: Optional[Tuple[Tuple[str, int], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.ops:
@@ -70,6 +78,23 @@ class Transaction:
                     f"transaction {self.txn_id!r}: malformed {op[0]!r} op "
                     f"{op!r} (expected {arity[op[0]]} fields)"
                 )
+        if self.routes is not None:
+            routed = {key for key, _ in self.routes}
+            touched = set(self.keys())
+            if routed != touched:
+                raise ValueError(
+                    f"transaction {self.txn_id!r}: routes cover {sorted(routed)} "
+                    f"but ops touch {sorted(touched)}"
+                )
+
+    def route_of(self, key: str) -> Optional[int]:
+        """The group this key's ops were addressed to (None = untagged)."""
+        if self.routes is None:
+            return None
+        for k, gid in self.routes:
+            if k == key:
+                return gid
+        return None
 
     # ------------------------------------------------------------------
     # Declared sets (the routing inputs)
@@ -105,13 +130,22 @@ class Transaction:
     # Wire format (AppMessage payloads must be plain hashable data)
     # ------------------------------------------------------------------
     def to_payload(self) -> tuple:
-        return (self.txn_id, self.client, self.ops)
+        """Untagged transactions keep the legacy 3-tuple byte-for-byte;
+        route-tagged ones append the tags as a 4th element."""
+        if self.routes is None:
+            return (self.txn_id, self.client, self.ops)
+        return (self.txn_id, self.client, self.ops, self.routes)
 
     @classmethod
     def from_payload(cls, payload: tuple) -> "Transaction":
-        txn_id, client, ops = payload
+        if len(payload) == 3:
+            txn_id, client, ops = payload
+            routes = None
+        else:
+            txn_id, client, ops, routes = payload
+            routes = tuple((k, gid) for k, gid in routes)
         return cls(txn_id=txn_id, client=client,
-                   ops=tuple(tuple(op) for op in ops))
+                   ops=tuple(tuple(op) for op in ops), routes=routes)
 
 
 @dataclass

@@ -7,9 +7,12 @@ the same plan can drive different protocols in a comparison and the
 campaign runner's serial-vs-parallel determinism guarantee extends to
 store scenarios.
 
-Key popularity follows a Zipf law *within each partition* (rank-1 keys
-are hot), the partition count per transaction follows the declared
-multi-partition ratio, and transaction ids are assigned at plan time
+Key popularity follows a Zipf law — scoped *within each partition*
+(rank-1 keys are hot, per-group load flat; the legacy mix) or, with
+``popularity="global"``, over the whole keyspace so the partitions
+owning globally-hot keys are hot.  The partition count per transaction
+follows the declared multi-partition ratio, and transaction ids are
+assigned at plan time
 (``t00000`` is the first arrival) so protocol tie-breaks on mids are a
 function of the seed alone, never of interpreter-global counters.
 """
@@ -19,9 +22,10 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.topology import Topology
+from repro.replication.partition import PartitionMap
 from repro.store.spec import StoreSpec
 
 
@@ -61,20 +65,48 @@ def partition_keys(spec: StoreSpec, topology: Topology) -> Dict[str, int]:
             for i in range(spec.n_keys)}
 
 
+def build_partition_map(spec: StoreSpec,
+                        topology: Topology) -> PartitionMap:
+    """The epoch-0 partition map for a store scenario.
+
+    ``placement="explicit"`` pins every key round-robin (the legacy
+    layout, byte-identical to previous releases); ``placement="ring"``
+    lets the consistent-hash ring over the data groups own the keys,
+    which is what elastic scenarios use — migrations then layer
+    explicit overrides on top of the ring.
+    """
+    if spec.placement == "ring":
+        return PartitionMap(topology, explicit={}, placement="ring",
+                            ring_groups=data_group_ids(spec, topology),
+                            vnodes=spec.ring_vnodes)
+    return PartitionMap(topology, explicit=partition_keys(spec, topology))
+
+
 def keys_by_group(spec: StoreSpec,
                   topology: Topology) -> Dict[int, List[str]]:
     """Owner group → its key list, in popularity-rank order."""
+    pmap = build_partition_map(spec, topology)
     out: Dict[int, List[str]] = {}
-    for key, gid in partition_keys(spec, topology).items():
-        out.setdefault(gid, []).append(key)
+    for i in range(spec.n_keys):
+        key = key_name(i)
+        out.setdefault(pmap.group_of(key), []).append(key)
     return out
 
 
 class _ZipfPicker:
-    """Draw ranks 1..n with probability ∝ 1/rank^skew (skew 0 = uniform)."""
+    """Draw ranks 1..n with probability ∝ 1/rank^skew (skew 0 = uniform).
 
-    def __init__(self, n: int, skew: float) -> None:
-        weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+    Pass ``weights`` to draw from an arbitrary popularity profile
+    instead — global-popularity workloads hand each partition the
+    *global* zipf weights of the keys it owns, so a group owning
+    rank-1 and rank-3 keys splits its draws 1 : 1/3^skew rather than
+    restarting the law at its own rank 1.
+    """
+
+    def __init__(self, n: int, skew: float,
+                 weights: Optional[List[float]] = None) -> None:
+        if weights is None:
+            weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
         total = sum(weights)
         acc = 0.0
         self._cumulative: List[float] = []
@@ -103,6 +135,25 @@ def _arrival_times(spec: StoreSpec, rng: random.Random) -> List[float]:
                 return times
             times.append(t)
     return [spec.start + i * spec.period for i in range(spec.count)]
+
+
+def _weighted_sample(groups: List[int], mass: Dict[int, float], k: int,
+                     rng: random.Random) -> List[int]:
+    """``k`` distinct groups, drawn ∝ popularity mass, seed-stable."""
+    pool = list(groups)
+    chosen: List[int] = []
+    for _ in range(k):
+        total = sum(mass[g] for g in pool)
+        draw = rng.random() * total
+        acc = 0.0
+        for i, gid in enumerate(pool):
+            acc += mass[gid]
+            if draw < acc:
+                chosen.append(pool.pop(i))
+                break
+        else:  # float-summation sliver past the last cumulative weight
+            chosen.append(pool.pop())
+    return chosen
 
 
 def _write_op(key: str, rng: random.Random) -> Tuple:
@@ -135,8 +186,25 @@ def txn_workload(
         raise ValueError("txn_workload needs at least one client pid")
     by_group = keys_by_group(spec, topology)
     groups = sorted(by_group)
-    pickers = {gid: _ZipfPicker(len(keys), spec.zipf_skew)
-               for gid, keys in by_group.items()}
+    if spec.popularity == "global":
+        # One zipf law over the whole keyspace: a partition draws with
+        # the *global* weights of the keys it owns, and partitions are
+        # themselves chosen ∝ their owned popularity mass — the groups
+        # holding globally-hot keys become hot.
+        def _w(key: str) -> float:
+            return 1.0 / ((int(key[1:]) + 1) ** spec.zipf_skew)
+
+        pickers = {gid: _ZipfPicker(len(keys), spec.zipf_skew,
+                                    weights=[_w(k) for k in keys])
+                   for gid, keys in by_group.items()}
+        mass: Optional[Dict[int, float]] = {
+            gid: sum(_w(k) for k in keys)
+            for gid, keys in by_group.items()
+        }
+    else:
+        pickers = {gid: _ZipfPicker(len(keys), spec.zipf_skew)
+                   for gid, keys in by_group.items()}
+        mass = None
     max_parts = min(spec.max_partitions, len(groups))
     plans: List[TxnPlan] = []
     for arrival, t in enumerate(_arrival_times(spec, rng)):
@@ -144,7 +212,10 @@ def txn_workload(
             n_parts = rng.randint(2, max_parts)
         else:
             n_parts = 1
-        chosen = sorted(rng.sample(groups, n_parts))
+        if mass is not None:
+            chosen = sorted(_weighted_sample(groups, mass, n_parts, rng))
+        else:
+            chosen = sorted(rng.sample(groups, n_parts))
         keys: List[str] = []
         for gid in chosen:
             keys.append(by_group[gid][pickers[gid].pick(rng)])
